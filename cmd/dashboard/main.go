@@ -1,0 +1,63 @@
+// Command dashboard runs a scheduling comparison and serves it as a web
+// dashboard: summary tables, completion-CDF and occupancy charts
+// (inline SVG), per-job listings, and a JSON API.
+//
+// Usage:
+//
+//	dashboard [-addr :8080] [-jobs 96] [-seed 1] [-pattern static]
+//
+// Open http://localhost:8080 after the simulations finish.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+
+	"repro/internal/experiments"
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/web"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", ":8080", "listen address")
+		n       = flag.Int("jobs", 96, "trace length")
+		seed    = flag.Int64("seed", 1, "random seed")
+		pattern = flag.String("pattern", "static", "arrival pattern: static or poisson")
+		rate    = flag.Float64("rate", 2.0/3600, "poisson arrival rate (jobs/second)")
+	)
+	flag.Parse()
+
+	cfg := trace.Config{NumJobs: *n, Seed: *seed, Rate: *rate}
+	if *pattern == "poisson" {
+		cfg.Pattern = trace.Poisson
+	}
+	jobs, err := trace.Generate(cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dashboard: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("simulating %d jobs on %s with 4 schedulers...\n",
+		len(jobs), experiments.SimCluster())
+	cmp, err := experiments.RunComparison(
+		experiments.SimCluster(), jobs,
+		[]sched.Scheduler{
+			experiments.NewHadar(), experiments.NewGavel(),
+			experiments.NewTiresias(), experiments.NewYARNCS(),
+		},
+		sim.DefaultOptions())
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dashboard: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Print(cmp.Table())
+	fmt.Printf("serving dashboard on %s\n", *addr)
+	if err := http.ListenAndServe(*addr, web.NewServer(cmp).Handler()); err != nil {
+		fmt.Fprintf(os.Stderr, "dashboard: %v\n", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,132 @@
+// Command hadarsim runs one scheduler on one trace through the
+// round-based cluster simulator and prints the resulting metrics.
+//
+// Usage:
+//
+//	hadarsim [-scheduler hadar] [-cluster sim|physical] [-jobs 480]
+//	         [-seed 1] [-pattern static|poisson] [-rate 0.02]
+//	         [-round 6] [-model-costs] [-trace trace.json] [-cdf]
+//
+// Schedulers: hadar, hadar-makespan, gavel, tiresias, yarn-cs.
+// With -trace, jobs are loaded from a tracegen JSON file instead of
+// being synthesized.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/allox"
+	"repro/internal/experiments"
+	"repro/internal/job"
+	"repro/internal/policy"
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+func main() {
+	var (
+		schedName  = flag.String("scheduler", "hadar", "scheduler: hadar, hadar-makespan, gavel, tiresias, yarn-cs, allox, ref-fifo, ref-srtf")
+		clusterSel = flag.String("cluster", "sim", "cluster config: sim (60 GPUs) or physical (8 GPUs)")
+		n          = flag.Int("jobs", 480, "number of synthesized jobs (ignored with -trace)")
+		seed       = flag.Int64("seed", 1, "random seed")
+		pattern    = flag.String("pattern", "static", "arrival pattern: static or poisson")
+		rate       = flag.Float64("rate", 480.0/(7*3600), "poisson arrival rate (jobs/second)")
+		roundMin   = flag.Float64("round", 6, "scheduling round length (minutes)")
+		modelCosts = flag.Bool("model-costs", false, "use per-model Table IV checkpoint costs")
+		traceFile  = flag.String("trace", "", "load jobs from a tracegen JSON file")
+		showCDF    = flag.Bool("cdf", false, "print the completion CDF")
+		eventsFile = flag.String("events", "", "write a JSONL simulation event log to this file")
+	)
+	flag.Parse()
+
+	var s sched.Scheduler
+	switch *schedName {
+	case "hadar":
+		s = experiments.NewHadar()
+	case "hadar-makespan":
+		s = experiments.NewHadarMakespan()
+	case "gavel":
+		s = experiments.NewGavel()
+	case "tiresias":
+		s = experiments.NewTiresias()
+	case "yarn-cs":
+		s = experiments.NewYARNCS()
+	case "allox":
+		s = allox.New()
+	case "ref-fifo":
+		s = policy.New(policy.FIFO, true)
+	case "ref-srtf":
+		s = policy.New(policy.SRTF, true)
+	default:
+		fmt.Fprintf(os.Stderr, "hadarsim: unknown scheduler %q\n", *schedName)
+		os.Exit(2)
+	}
+
+	c := experiments.SimCluster()
+	if *clusterSel == "physical" {
+		c = experiments.PhysicalCluster()
+	} else if *clusterSel != "sim" {
+		fmt.Fprintf(os.Stderr, "hadarsim: unknown cluster %q\n", *clusterSel)
+		os.Exit(2)
+	}
+
+	var jobs []*job.Job
+	var err error
+	if *traceFile != "" {
+		f, ferr := os.Open(*traceFile)
+		if ferr != nil {
+			fmt.Fprintf(os.Stderr, "hadarsim: %v\n", ferr)
+			os.Exit(1)
+		}
+		jobs, err = trace.Read(f)
+		f.Close()
+	} else {
+		cfg := trace.Config{NumJobs: *n, Seed: *seed, Rate: *rate}
+		if *pattern == "poisson" {
+			cfg.Pattern = trace.Poisson
+		}
+		jobs, err = trace.Generate(cfg)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "hadarsim: %v\n", err)
+		os.Exit(1)
+	}
+
+	opts := sim.DefaultOptions()
+	opts.RoundLength = *roundMin * 60
+	opts.UseModelCosts = *modelCosts
+	if *eventsFile != "" {
+		f, ferr := os.Create(*eventsFile)
+		if ferr != nil {
+			fmt.Fprintf(os.Stderr, "hadarsim: %v\n", ferr)
+			os.Exit(1)
+		}
+		defer f.Close()
+		opts.EventLog = f
+	}
+	report, err := sim.Run(c, jobs, s, opts)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "hadarsim: %v\n", err)
+		os.Exit(1)
+	}
+
+	fmt.Println(report)
+	fmt.Printf("  min/median/max JCT: %.2f / %.2f / %.2f h\n",
+		report.MinJCT()/3600, report.MedianJCT()/3600, report.MaxJCT()/3600)
+	fmt.Printf("  avg queue delay:    %.2f h\n", report.AvgQueueDelay()/3600)
+	fmt.Printf("  GPU utilization:    %.1f%% (occupancy %.1f%%)\n",
+		100*report.Utilization(), 100*report.Occupancy())
+	fmt.Printf("  realloc fraction:   %.1f%% of allocated job-rounds\n",
+		100*report.ReallocationFraction())
+	fmt.Printf("  decisions:          %d rounds, avg %s per decision\n",
+		report.Decisions, report.AvgDecisionTime())
+	if *showCDF {
+		fmt.Println("  completion CDF:")
+		for _, p := range report.CompletionCDF() {
+			fmt.Printf("    %10.2fh %6.3f\n", p.X/3600, p.Fraction)
+		}
+	}
+}

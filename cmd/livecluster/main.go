@@ -1,0 +1,98 @@
+// Command livecluster runs the paper's prototype architecture locally:
+// it spawns RPC worker agents (one per simulated machine) on loopback
+// TCP, drives them with a scheduler as the controller process, and
+// replays a workload in scaled real time.
+//
+// Usage:
+//
+//	livecluster [-scheduler hadar] [-jobs 10] [-seed 7]
+//	            [-timescale 36000] [-round 6] [-model-costs]
+//
+// With the default timescale, one wall-clock second represents ten
+// simulated hours, so the Table III workload replays in a few seconds
+// while still exercising live launch/preempt/checkpoint RPCs.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+	"repro/internal/gpu"
+	"repro/internal/rpccluster"
+	"repro/internal/sched"
+	"repro/internal/trace"
+)
+
+func main() {
+	var (
+		schedName  = flag.String("scheduler", "hadar", "hadar, hadar-makespan, gavel, tiresias, yarn-cs")
+		jobs       = flag.Int("jobs", 10, "number of prototype jobs")
+		seed       = flag.Int64("seed", 7, "workload seed")
+		timescale  = flag.Float64("timescale", 36000, "simulated seconds per wall-clock second")
+		roundMin   = flag.Float64("round", 6, "scheduling round (simulated minutes)")
+		modelCosts = flag.Bool("model-costs", true, "use Table IV checkpoint costs")
+	)
+	flag.Parse()
+
+	var s sched.Scheduler
+	switch *schedName {
+	case "hadar":
+		s = experiments.NewHadar()
+	case "hadar-makespan":
+		s = experiments.NewHadarMakespan()
+	case "gavel":
+		s = experiments.NewGavel()
+	case "tiresias":
+		s = experiments.NewTiresias()
+	case "yarn-cs":
+		s = experiments.NewYARNCS()
+	default:
+		fmt.Fprintf(os.Stderr, "livecluster: unknown scheduler %q\n", *schedName)
+		os.Exit(2)
+	}
+
+	// The prototype fleet: 8 GPUs across four machine types.
+	nodeTypes := []gpu.Type{gpu.T4, gpu.K520, gpu.K80, gpu.V100}
+	var specs []rpccluster.NodeSpec
+	for i, typ := range nodeTypes {
+		w := rpccluster.NewWorker(i, 2, *timescale)
+		h, err := rpccluster.Serve("127.0.0.1:0", w)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "livecluster: %v\n", err)
+			os.Exit(1)
+		}
+		defer h.Close()
+		specs = append(specs, rpccluster.NodeSpec{Addr: h.Addr, GPU: typ, Devices: 2, Speed: 1})
+		fmt.Printf("worker %d (%s x2) on %s\n", i, typ, h.Addr)
+	}
+
+	opts := rpccluster.DefaultOptions()
+	opts.TimeScale = *timescale
+	opts.RoundLength = *roundMin * 60
+	opts.UseModelCosts = *modelCosts
+	ctl, err := rpccluster.NewController(s, specs, opts)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "livecluster: %v\n", err)
+		os.Exit(1)
+	}
+	defer ctl.Close()
+
+	workload := trace.PrototypeWorkload(*seed)
+	if *jobs < len(workload) {
+		workload = workload[:*jobs]
+	}
+	fmt.Printf("\nreplaying %d jobs with %s at %.0fx real time...\n\n",
+		len(workload), s.Name(), *timescale)
+	report, err := ctl.Run(workload)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "livecluster: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Println(report)
+	for _, jr := range report.Jobs {
+		fmt.Printf("  job %2d %-12s W=%d  start %6.2fh  finish %6.2fh  reallocs %d\n",
+			jr.ID, jr.Model, jr.Workers, jr.Start/3600, jr.Finish/3600, jr.Reallocations)
+	}
+}

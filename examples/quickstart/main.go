@@ -1,0 +1,61 @@
+// Quickstart: schedule a small synthetic workload on a heterogeneous
+// GPU cluster with Hadar and print the headline metrics.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/gpu"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+func main() {
+	// 1. Describe the cluster: six machines, three accelerator types
+	// (large enough for the trace's 16-worker gangs).
+	clus := cluster.New(
+		gpu.Fleet{gpu.V100: 8}, gpu.Fleet{gpu.V100: 8},
+		gpu.Fleet{gpu.P100: 8}, gpu.Fleet{gpu.P100: 8},
+		gpu.Fleet{gpu.K80: 8}, gpu.Fleet{gpu.K80: 8},
+	)
+
+	// 2. Synthesize a 32-job trace following the paper's Philly-like
+	// recipe (Table II models, heavy-tailed GPU-hour buckets).
+	cfg := trace.DefaultConfig()
+	cfg.NumJobs = 32
+	cfg.Seed = 42
+	jobs, err := trace.Generate(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 3. Build the Hadar scheduler with its default (average-JCT)
+	// objective and run the round-based simulation.
+	scheduler := core.New(core.DefaultOptions())
+	report, err := sim.Run(clus, jobs, scheduler, sim.DefaultOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 4. Inspect the results.
+	fmt.Println(report)
+	fmt.Printf("completed %d jobs on %s\n", len(report.Jobs), clus)
+	fmt.Printf("avg queue delay %.1f min, %.1f%% of job-rounds reallocated\n",
+		report.AvgQueueDelay()/60, 100*report.ReallocationFraction())
+	fmt.Printf("competitive-ratio factor alpha of the last round: %.2f (Hadar is 2*alpha-competitive)\n",
+		scheduler.LastAlpha())
+
+	fmt.Println("\nfirst five completions:")
+	for i, j := range report.Jobs {
+		if i == 5 {
+			break
+		}
+		fmt.Printf("  job %2d (%s, %d workers): waited %5.1f min, ran %6.1f min, JCT %6.1f min\n",
+			j.ID, j.Model, j.Workers, j.QueueDelay()/60, (j.Finish-j.Start)/60, j.JCT()/60)
+	}
+}

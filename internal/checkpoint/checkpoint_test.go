@@ -1,0 +1,99 @@
+package checkpoint
+
+import (
+	"math"
+	"testing"
+)
+
+// TestTableIVExact verifies the calibration reproduces the paper's
+// Table IV percentages at a 6-minute round.
+func TestTableIVExact(t *testing.T) {
+	cases := []struct {
+		model         string
+		with, without float64
+	}{
+		{"ResNet-50", 0.0210, 0.0033},
+		{"ResNet-18", 0.0129, 0.0021},
+		{"LSTM", 0.0201, 0.0087},
+		{"CycleGAN", 0.0068, 0.0013},
+		{"Transformer", 0.0071, 0.0017},
+	}
+	for _, c := range cases {
+		if got := Overhead(c.model, RoundSeconds, true); math.Abs(got-c.with) > 1e-9 {
+			t.Errorf("%s with realloc: %v, want %v", c.model, got, c.with)
+		}
+		if got := Overhead(c.model, RoundSeconds, false); math.Abs(got-c.without) > 1e-9 {
+			t.Errorf("%s without realloc: %v, want %v", c.model, got, c.without)
+		}
+	}
+}
+
+func TestUnknownModelFallsBackToFlatDelay(t *testing.T) {
+	c := Lookup("GPT-7")
+	if c.Save != 0 || c.Restore != DefaultDelay {
+		t.Errorf("unknown model cost = %+v", c)
+	}
+	if got := Delay("GPT-7", true); got != DefaultDelay {
+		t.Errorf("Delay unknown with realloc = %v", got)
+	}
+	if got := Delay("GPT-7", false); got != 0 {
+		t.Errorf("Delay unknown without realloc = %v", got)
+	}
+}
+
+func TestDelayComposition(t *testing.T) {
+	for _, m := range Models() {
+		c := Lookup(m)
+		if got := Delay(m, true); math.Abs(got-(c.Save+c.Restore)) > 1e-12 {
+			t.Errorf("%s Delay(realloc) = %v", m, got)
+		}
+		if got := Delay(m, false); got != c.Save {
+			t.Errorf("%s Delay(!realloc) = %v", m, got)
+		}
+	}
+}
+
+func TestOverheadScalesInverselyWithRound(t *testing.T) {
+	short := Overhead("ResNet-50", 180, true)
+	long := Overhead("ResNet-50", 720, true)
+	if math.Abs(short/long-4) > 1e-9 {
+		t.Errorf("overhead ratio = %v, want 4", short/long)
+	}
+}
+
+func TestOverheadPanicsOnBadRound(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Overhead(0) did not panic")
+		}
+	}()
+	Overhead("LSTM", 0, true)
+}
+
+func TestReallocAlwaysCostsMore(t *testing.T) {
+	for _, m := range Models() {
+		if Delay(m, true) <= Delay(m, false) {
+			t.Errorf("%s: realloc delay not greater than save-only delay", m)
+		}
+	}
+}
+
+func TestAllCostsPositive(t *testing.T) {
+	for _, m := range Models() {
+		c := Lookup(m)
+		if c.Save <= 0 || c.Restore <= 0 {
+			t.Errorf("%s has non-positive cost %+v", m, c)
+		}
+	}
+}
+
+func TestModelsListMatchesTable(t *testing.T) {
+	if len(Models()) != 5 {
+		t.Errorf("Models() = %v, want 5 entries", Models())
+	}
+	for _, m := range Models() {
+		if _, ok := table[m]; !ok {
+			t.Errorf("model %s missing from table", m)
+		}
+	}
+}

@@ -1,0 +1,112 @@
+// Package ckptstore implements the stable checkpoint storage of the
+// paper's prototype: "when a job is suspended, the latest model
+// parameter would be checkpointed to stable storage to prevent loss of
+// training progress", over SSDs with ~1000 MiB/s of bandwidth.
+//
+// The store keeps checkpoint blobs keyed by job, models transfer times
+// from blob size and device bandwidth (in simulated seconds, so callers
+// fold them into their own clocks), and serializes concurrent transfers
+// through the device the way a real SSD queue would.
+package ckptstore
+
+import (
+	"fmt"
+	"sync"
+)
+
+// DefaultBandwidthBytes is the paper's prototype SSD: 1000 MiB/s.
+const DefaultBandwidthBytes = 1000 * 1024 * 1024
+
+// Checkpoint is one saved training state.
+type Checkpoint struct {
+	JobID int
+	// Iter is the training progress captured by this checkpoint.
+	Iter float64
+	// SizeBytes is the serialized model size (drives transfer time).
+	SizeBytes float64
+	// SavedAt is the simulated time the save completed.
+	SavedAt float64
+}
+
+// Store is a bandwidth-modeled checkpoint device. It is safe for
+// concurrent use.
+type Store struct {
+	mu sync.Mutex
+	// bandwidth in bytes per simulated second.
+	bandwidth float64
+	// busyUntil is the simulated time the device finishes its queued
+	// transfers.
+	busyUntil float64
+	blobs     map[int]Checkpoint
+	saves     int
+	loads     int
+}
+
+// New builds a store with the given bandwidth (bytes per simulated
+// second); 0 selects the paper's 1000 MiB/s SSD.
+func New(bandwidthBytes float64) *Store {
+	if bandwidthBytes <= 0 {
+		bandwidthBytes = DefaultBandwidthBytes
+	}
+	return &Store{bandwidth: bandwidthBytes, blobs: make(map[int]Checkpoint)}
+}
+
+// transfer reserves the device for size bytes starting no earlier than
+// now, returning when the transfer completes (simulated time).
+func (s *Store) transfer(now, size float64) float64 {
+	start := now
+	if s.busyUntil > start {
+		start = s.busyUntil
+	}
+	end := start + size/s.bandwidth
+	s.busyUntil = end
+	return end
+}
+
+// Save checkpoints a job's progress at simulated time now, returning
+// the simulated completion time of the write (>= now; later when the
+// device is busy). A newer save replaces the job's previous blob.
+func (s *Store) Save(now float64, c Checkpoint) (doneAt float64, err error) {
+	if c.SizeBytes < 0 || c.Iter < 0 {
+		return 0, fmt.Errorf("ckptstore: invalid checkpoint %+v", c)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	doneAt = s.transfer(now, c.SizeBytes)
+	c.SavedAt = doneAt
+	if prev, ok := s.blobs[c.JobID]; ok && prev.Iter > c.Iter {
+		// Never regress a checkpoint (a stale save racing a newer one).
+		return doneAt, nil
+	}
+	s.blobs[c.JobID] = c
+	s.saves++
+	return doneAt, nil
+}
+
+// Load reads a job's latest checkpoint at simulated time now, returning
+// the blob and the simulated completion time of the read. ok is false
+// when the job has no checkpoint (fresh start: zero transfer).
+func (s *Store) Load(now float64, jobID int) (c Checkpoint, doneAt float64, ok bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	c, ok = s.blobs[jobID]
+	if !ok {
+		return Checkpoint{JobID: jobID}, now, false
+	}
+	s.loads++
+	return c, s.transfer(now, c.SizeBytes), true
+}
+
+// Delete drops a finished job's checkpoint.
+func (s *Store) Delete(jobID int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.blobs, jobID)
+}
+
+// Stats reports operation counts and live blob count.
+func (s *Store) Stats() (saves, loads, blobs int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.saves, s.loads, len(s.blobs)
+}

@@ -1,0 +1,148 @@
+package ckptstore
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	s := New(100) // 100 bytes/s for easy math
+	doneAt, err := s.Save(0, Checkpoint{JobID: 1, Iter: 500, SizeBytes: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doneAt != 2 { // 200 bytes at 100 B/s
+		t.Errorf("save done at %v, want 2", doneAt)
+	}
+	c, loadDone, ok := s.Load(doneAt, 1)
+	if !ok {
+		t.Fatal("checkpoint missing")
+	}
+	if c.Iter != 500 || c.SavedAt != 2 {
+		t.Errorf("loaded %+v", c)
+	}
+	if loadDone != 4 { // read another 200 bytes
+		t.Errorf("load done at %v, want 4", loadDone)
+	}
+}
+
+func TestDeviceSerializesTransfers(t *testing.T) {
+	s := New(100)
+	// Two simultaneous saves queue behind each other.
+	d1, _ := s.Save(0, Checkpoint{JobID: 1, SizeBytes: 100})
+	d2, _ := s.Save(0, Checkpoint{JobID: 2, SizeBytes: 100})
+	if d1 != 1 || d2 != 2 {
+		t.Errorf("transfers not serialized: %v %v", d1, d2)
+	}
+	// After the device drains, a new save starts immediately.
+	d3, _ := s.Save(10, Checkpoint{JobID: 3, SizeBytes: 100})
+	if d3 != 11 {
+		t.Errorf("idle device queued: %v", d3)
+	}
+}
+
+func TestLoadMissingIsFreshStart(t *testing.T) {
+	s := New(0)
+	c, doneAt, ok := s.Load(5, 42)
+	if ok {
+		t.Error("missing checkpoint reported present")
+	}
+	if c.Iter != 0 || doneAt != 5 {
+		t.Errorf("fresh start = %+v at %v", c, doneAt)
+	}
+}
+
+func TestNewerSaveWins(t *testing.T) {
+	s := New(0)
+	if _, err := s.Save(0, Checkpoint{JobID: 1, Iter: 100, SizeBytes: 10}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Save(1, Checkpoint{JobID: 1, Iter: 300, SizeBytes: 10}); err != nil {
+		t.Fatal(err)
+	}
+	// A stale save (lower iteration) must not regress the blob.
+	if _, err := s.Save(2, Checkpoint{JobID: 1, Iter: 200, SizeBytes: 10}); err != nil {
+		t.Fatal(err)
+	}
+	c, _, ok := s.Load(3, 1)
+	if !ok || c.Iter != 300 {
+		t.Errorf("checkpoint regressed: %+v", c)
+	}
+}
+
+func TestDeleteAndStats(t *testing.T) {
+	s := New(0)
+	s.Save(0, Checkpoint{JobID: 1, Iter: 1, SizeBytes: 1})
+	s.Save(0, Checkpoint{JobID: 2, Iter: 1, SizeBytes: 1})
+	s.Load(0, 1)
+	s.Delete(1)
+	saves, loads, blobs := s.Stats()
+	if saves != 2 || loads != 1 || blobs != 1 {
+		t.Errorf("stats = %d saves, %d loads, %d blobs", saves, loads, blobs)
+	}
+}
+
+func TestInvalidCheckpointRejected(t *testing.T) {
+	s := New(0)
+	if _, err := s.Save(0, Checkpoint{JobID: 1, SizeBytes: -5}); err == nil {
+		t.Error("negative size accepted")
+	}
+	if _, err := s.Save(0, Checkpoint{JobID: 1, Iter: -1}); err == nil {
+		t.Error("negative iter accepted")
+	}
+}
+
+func TestDefaultBandwidth(t *testing.T) {
+	s := New(0)
+	// 1 GiB-ish blob at 1000 MiB/s ~ 1.024 s.
+	doneAt, _ := s.Save(0, Checkpoint{JobID: 1, SizeBytes: 1 << 30})
+	if math.Abs(doneAt-1.024) > 0.01 {
+		t.Errorf("default-bandwidth save = %v s, want ~1.024", doneAt)
+	}
+}
+
+func TestConcurrentUse(t *testing.T) {
+	s := New(1e6)
+	var wg sync.WaitGroup
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			for k := 0; k < 50; k++ {
+				s.Save(float64(k), Checkpoint{JobID: id, Iter: float64(k), SizeBytes: 100})
+				s.Load(float64(k), id)
+			}
+		}(i)
+	}
+	wg.Wait()
+	saves, loads, blobs := s.Stats()
+	if saves != 32*50 || loads != 32*50 || blobs != 32 {
+		t.Errorf("stats = %d/%d/%d", saves, loads, blobs)
+	}
+}
+
+// Property: transfer completion times are monotone in request order and
+// never earlier than the request time.
+func TestTransferMonotoneProperty(t *testing.T) {
+	prop := func(sizes []uint16) bool {
+		s := New(1000)
+		prev := 0.0
+		for i, raw := range sizes {
+			now := float64(i)
+			done, err := s.Save(now, Checkpoint{JobID: i, SizeBytes: float64(raw)})
+			if err != nil {
+				return false
+			}
+			if done < now || done < prev {
+				return false
+			}
+			prev = done
+		}
+		return true
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}

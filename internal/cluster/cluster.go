@@ -1,0 +1,375 @@
+// Package cluster models the heterogeneous GPU cluster that the Hadar
+// scheduler and its baselines allocate from: a set of machines (nodes),
+// each holding a fleet of accelerators of possibly several types
+// (capacity c_h^r in the paper), plus the allocation bookkeeping used by
+// the simulator and the schedulers.
+//
+// It also supports injecting per-node slowdown factors to model
+// straggling machines, an effect the paper's continuous-trace evaluation
+// credits Hadar with handling well.
+package cluster
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/gpu"
+)
+
+// Node is one machine in the cluster.
+type Node struct {
+	// ID is the node's index within the cluster; Cluster.New assigns it.
+	ID int
+	// Capacity is c_h^r: the number of accelerators of each type on this
+	// machine.
+	Capacity gpu.Fleet
+	// Speed is a throughput multiplier for every accelerator on the
+	// node; 1.0 is nominal, values below 1 model stragglers (e.g.
+	// thermal throttling or a slow PCIe link). Must be positive.
+	Speed float64
+}
+
+// Cluster is an immutable description of the machines. Allocation state
+// lives in State.
+type Cluster struct {
+	nodes []Node
+}
+
+// New builds a cluster from node capacities. Node IDs are assigned in
+// order; a zero Speed is normalized to 1.0.
+func New(capacities ...gpu.Fleet) *Cluster {
+	c := &Cluster{nodes: make([]Node, len(capacities))}
+	for i, cap := range capacities {
+		c.nodes[i] = Node{ID: i, Capacity: cap.Clone(), Speed: 1.0}
+	}
+	return c
+}
+
+// Homogeneous builds a cluster of n identical nodes, each holding
+// perNode accelerators of type t.
+func Homogeneous(n int, t gpu.Type, perNode int) *Cluster {
+	fleets := make([]gpu.Fleet, n)
+	for i := range fleets {
+		fleets[i] = gpu.Fleet{t: perNode}
+	}
+	return New(fleets...)
+}
+
+// Merge concatenates the nodes of several clusters into one, reassigning
+// node IDs.
+func Merge(clusters ...*Cluster) *Cluster {
+	out := &Cluster{}
+	for _, c := range clusters {
+		for _, n := range c.nodes {
+			n.ID = len(out.nodes)
+			out.nodes = append(out.nodes, n)
+		}
+	}
+	return out
+}
+
+// NumNodes returns the machine count H.
+func (c *Cluster) NumNodes() int { return len(c.nodes) }
+
+// Node returns the node with the given ID. It panics on an invalid ID.
+func (c *Cluster) Node(id int) Node {
+	return c.nodes[id]
+}
+
+// Nodes returns the nodes in ID order. The returned slice must not be
+// modified.
+func (c *Cluster) Nodes() []Node { return c.nodes }
+
+// SetSpeed sets node id's straggler factor. It panics if speed <= 0.
+func (c *Cluster) SetSpeed(id int, speed float64) {
+	if speed <= 0 {
+		panic(fmt.Sprintf("cluster: non-positive speed %v for node %d", speed, id))
+	}
+	c.nodes[id].Speed = speed
+}
+
+// Speed returns node id's straggler factor.
+func (c *Cluster) Speed(id int) float64 { return c.nodes[id].Speed }
+
+// Capacity returns c_h^r for node id and type t.
+func (c *Cluster) Capacity(id int, t gpu.Type) int {
+	return c.nodes[id].Capacity.Count(t)
+}
+
+// TotalOfType returns the cluster-wide count of accelerators of type t.
+func (c *Cluster) TotalOfType(t gpu.Type) int {
+	n := 0
+	for _, node := range c.nodes {
+		n += node.Capacity.Count(t)
+	}
+	return n
+}
+
+// TotalGPUs returns the cluster-wide accelerator count across all types.
+func (c *Cluster) TotalGPUs() int {
+	n := 0
+	for _, node := range c.nodes {
+		n += node.Capacity.Total()
+	}
+	return n
+}
+
+// Types returns the accelerator types present anywhere in the cluster,
+// in ascending Type order.
+func (c *Cluster) Types() []gpu.Type {
+	total := gpu.Fleet{}
+	for _, node := range c.nodes {
+		total.Add(node.Capacity)
+	}
+	return total.Types()
+}
+
+// String renders a short description, e.g. "cluster[15 nodes, {V100:20 P100:20 K80:20}]".
+func (c *Cluster) String() string {
+	total := gpu.Fleet{}
+	for _, node := range c.nodes {
+		total.Add(node.Capacity)
+	}
+	return fmt.Sprintf("cluster[%d nodes, %s]", len(c.nodes), total)
+}
+
+// Without returns a copy of the cluster in which the given nodes have
+// zero capacity (their IDs remain valid, so allocations elsewhere are
+// unaffected). The simulator uses it to present a failed machine to the
+// schedulers.
+func (c *Cluster) Without(down map[int]bool) *Cluster {
+	out := &Cluster{nodes: make([]Node, len(c.nodes))}
+	copy(out.nodes, c.nodes)
+	for i := range out.nodes {
+		if down[out.nodes[i].ID] {
+			out.nodes[i].Capacity = gpu.Fleet{}
+		} else {
+			out.nodes[i].Capacity = out.nodes[i].Capacity.Clone()
+		}
+	}
+	return out
+}
+
+// Placement assigns Count accelerators of one type on one node to a job.
+type Placement struct {
+	Node  int
+	Type  gpu.Type
+	Count int
+}
+
+// Alloc is a job's full task-level allocation: a set of placements whose
+// counts sum to either 0 or the job's gang size W_j. A nil Alloc means
+// "not scheduled this round".
+type Alloc []Placement
+
+// Workers returns the total accelerator count of the allocation.
+func (a Alloc) Workers() int {
+	n := 0
+	for _, p := range a {
+		n += p.Count
+	}
+	return n
+}
+
+// NumNodes returns how many distinct nodes the allocation spans.
+func (a Alloc) NumNodes() int {
+	seen := map[int]bool{}
+	for _, p := range a {
+		if p.Count > 0 {
+			seen[p.Node] = true
+		}
+	}
+	return len(seen)
+}
+
+// Types returns the distinct accelerator types used, ascending.
+func (a Alloc) Types() []gpu.Type {
+	f := gpu.Fleet{}
+	for _, p := range a {
+		if p.Count > 0 {
+			f[p.Type] += p.Count
+		}
+	}
+	return f.Types()
+}
+
+// Canonical returns an equivalent allocation with zero-count placements
+// dropped, same-(node,type) placements merged, and entries sorted by
+// (node, type). Canonical forms compare with Equal.
+func (a Alloc) Canonical() Alloc {
+	merged := map[[2]int]int{}
+	for _, p := range a {
+		if p.Count > 0 {
+			merged[[2]int{p.Node, int(p.Type)}] += p.Count
+		}
+	}
+	out := make(Alloc, 0, len(merged))
+	for k, count := range merged {
+		out = append(out, Placement{Node: k[0], Type: gpu.Type(k[1]), Count: count})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Node != out[j].Node {
+			return out[i].Node < out[j].Node
+		}
+		return out[i].Type < out[j].Type
+	})
+	return out
+}
+
+// Equal reports whether two allocations place the same counts on the
+// same (node, type) pairs, regardless of entry order or splitting.
+func (a Alloc) Equal(b Alloc) bool {
+	ca, cb := a.Canonical(), b.Canonical()
+	if len(ca) != len(cb) {
+		return false
+	}
+	for i := range ca {
+		if ca[i] != cb[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Clone returns an independent copy.
+func (a Alloc) Clone() Alloc {
+	if a == nil {
+		return nil
+	}
+	return append(Alloc(nil), a...)
+}
+
+// String renders e.g. "[n0:V100x2 n3:K80x1]".
+func (a Alloc) String() string {
+	var sb strings.Builder
+	sb.WriteByte('[')
+	for i, p := range a.Canonical() {
+		if i > 0 {
+			sb.WriteByte(' ')
+		}
+		fmt.Fprintf(&sb, "n%d:%sx%d", p.Node, p.Type, p.Count)
+	}
+	sb.WriteByte(']')
+	return sb.String()
+}
+
+// State tracks free accelerators per (node, type) against a cluster's
+// capacities. It is the working object schedulers allocate from and the
+// simulator validates against.
+type State struct {
+	c    *Cluster
+	free [][]int // [node][type]
+}
+
+// NewState returns a fully free state for the cluster.
+func NewState(c *Cluster) *State {
+	s := &State{c: c, free: make([][]int, c.NumNodes())}
+	for i, node := range c.nodes {
+		s.free[i] = make([]int, gpu.NumTypes)
+		for t, count := range node.Capacity {
+			s.free[i][t] = count
+		}
+	}
+	return s
+}
+
+// Cluster returns the cluster this state tracks.
+func (s *State) Cluster() *Cluster { return s.c }
+
+// Free returns the free accelerator count on node id of type t.
+func (s *State) Free(id int, t gpu.Type) int { return s.free[id][t] }
+
+// FreeOfType returns the cluster-wide free count of type t.
+func (s *State) FreeOfType(t gpu.Type) int {
+	n := 0
+	for _, row := range s.free {
+		n += row[t]
+	}
+	return n
+}
+
+// TotalFree returns the cluster-wide free count across all types.
+func (s *State) TotalFree() int {
+	n := 0
+	for _, row := range s.free {
+		for _, c := range row {
+			n += c
+		}
+	}
+	return n
+}
+
+// Allocate removes the allocation's accelerators from the free pool. It
+// returns an error (and leaves the state unchanged) if any placement
+// exceeds the free count or names an invalid node.
+func (s *State) Allocate(a Alloc) error {
+	ca := a.Canonical()
+	for _, p := range ca {
+		if p.Node < 0 || p.Node >= len(s.free) {
+			return fmt.Errorf("cluster: placement on invalid node %d", p.Node)
+		}
+		if !p.Type.Valid() {
+			return fmt.Errorf("cluster: placement with invalid type %v", p.Type)
+		}
+		if s.free[p.Node][p.Type] < p.Count {
+			return fmt.Errorf("cluster: node %d has %d free %s, need %d",
+				p.Node, s.free[p.Node][p.Type], p.Type, p.Count)
+		}
+	}
+	for _, p := range ca {
+		s.free[p.Node][p.Type] -= p.Count
+	}
+	return nil
+}
+
+// Release returns the allocation's accelerators to the free pool. It
+// returns an error (and leaves the state unchanged) if releasing would
+// exceed a node's capacity, which indicates double-release.
+func (s *State) Release(a Alloc) error {
+	ca := a.Canonical()
+	for _, p := range ca {
+		if p.Node < 0 || p.Node >= len(s.free) {
+			return fmt.Errorf("cluster: release on invalid node %d", p.Node)
+		}
+		if s.free[p.Node][p.Type]+p.Count > s.c.Capacity(p.Node, p.Type) {
+			return fmt.Errorf("cluster: release of %d %s on node %d exceeds capacity",
+				p.Count, p.Type, p.Node)
+		}
+	}
+	for _, p := range ca {
+		s.free[p.Node][p.Type] += p.Count
+	}
+	return nil
+}
+
+// Clone returns an independent copy of the state (sharing the immutable
+// cluster).
+func (s *State) Clone() *State {
+	out := &State{c: s.c, free: make([][]int, len(s.free))}
+	for i, row := range s.free {
+		out.free[i] = append([]int(nil), row...)
+	}
+	return out
+}
+
+// Key returns a compact canonical signature of the free state, suitable
+// as a memoization key in Hadar's DP subroutine.
+func (s *State) Key() string {
+	var sb strings.Builder
+	sb.Grow(len(s.free) * 8)
+	for _, row := range s.free {
+		for _, c := range row {
+			// Free counts are small non-negative ints; a byte-ish varint
+			// keeps the key short. Counts >= 250 spill to two bytes.
+			if c < 250 {
+				sb.WriteByte(byte(c))
+			} else {
+				sb.WriteByte(250 + byte(c/250))
+				sb.WriteByte(byte(c % 250))
+			}
+		}
+		sb.WriteByte('|')
+	}
+	return sb.String()
+}

@@ -1,0 +1,154 @@
+package core
+
+import (
+	"sort"
+
+	"repro/internal/cluster"
+	"repro/internal/gpu"
+	"repro/internal/sched"
+)
+
+// candidate is one allocation option produced by FIND_ALLOC together
+// with its primal-dual economics.
+type candidate struct {
+	alloc  cluster.Alloc
+	rate   float64 // iterations/second under this allocation
+	cost   float64 // sum of dual prices (+ communication surcharge)
+	payoff float64 // mu_j = utility - cost
+}
+
+// findAlloc is the paper's FIND_ALLOC subroutine (Algorithm 2, lines
+// 22-34): generate consolidated ("packed") and consolidation-independent
+// allocations over the GPU types sorted by the job's throughput, price
+// each against the current dual prices (adding a communication surcharge
+// for multi-server allocations), and return the highest-payoff option.
+// ok is false only when no feasible allocation exists at all; the
+// admission filter mu_j > 0 is applied by the caller (the backfill pass
+// deliberately ignores it).
+func (s *Scheduler) findAlloc(st *sched.JobState, ctx *sched.Context, free *cluster.State, pt *priceTable) (candidate, bool) {
+	j := st.Job
+	types := sched.UsableTypes(j)
+	var cands []cluster.Alloc
+
+	// Single-type allocations: one candidate per usable type, on the
+	// cheapest nodes; plus the maximally consolidated variant.
+	for _, t := range types {
+		if a, ok := s.fillTypes(free, pt, j.Workers, []gpu.Type{t}); ok {
+			cands = append(cands, a)
+		}
+		if a, ok := sched.PlaceSingleType(free, t, j.Workers); ok {
+			cands = append(cands, a)
+		}
+	}
+	// Task-level mixed allocations: growing prefixes of the
+	// descending-throughput type list. This is the capability Gavel
+	// lacks: a gang can straddle accelerator types when no single type
+	// has enough free devices (or when mixing is simply cheaper).
+	if s.opts.TaskLevel {
+		for k := 2; k <= len(types); k++ {
+			if a, ok := s.fillTypes(free, pt, j.Workers, types[:k]); ok {
+				cands = append(cands, a)
+			}
+		}
+	}
+	// Stickiness: re-offer the job's current allocation (it is feasible
+	// by construction: the simulator freed nothing mid-round, and this
+	// round's state starts fully free) at a discounted cost, so
+	// unchanged allocations win ties and checkpoint churn stays low.
+	current := -1
+	if st.Running() {
+		if err := free.Clone().Allocate(st.Alloc); err == nil {
+			current = len(cands)
+			cands = append(cands, st.Alloc)
+		}
+	}
+
+	var best candidate
+	found := false
+	for i, a := range cands {
+		rate := sched.Rate(j, ctx.Cluster, a)
+		if rate <= 0 {
+			continue
+		}
+		age := ctx.Now - j.Arrival
+		if age < 0 {
+			age = 0
+		}
+		duration := age + st.Remaining/rate
+		utility := s.opts.Utility.Value(j, st.Remaining, duration)
+		cost := 0.0
+		for _, p := range a.Canonical() {
+			cost += pt.price(free, p.Node, p.Type) * float64(p.Count)
+		}
+		if n := a.NumNodes(); n > 1 {
+			cost *= 1 + s.opts.CommCost*float64(n-1)
+		}
+		if i == current {
+			cost *= 1 - s.opts.Stickiness
+		}
+		payoff := utility - cost
+		if !found || payoff > best.payoff {
+			best = candidate{alloc: a.Canonical(), rate: rate, cost: cost, payoff: payoff}
+			found = true
+		}
+	}
+	return best, found
+}
+
+// fillTypes builds an allocation of exactly workers devices drawn from
+// the given types (earlier types preferred), choosing nodes by ascending
+// dual price, then descending node speed, then descending free count.
+// ok is false if the types jointly lack free capacity.
+func (s *Scheduler) fillTypes(free *cluster.State, pt *priceTable, workers int, types []gpu.Type) (cluster.Alloc, bool) {
+	var out cluster.Alloc
+	need := workers
+	for _, t := range types {
+		if need == 0 {
+			break
+		}
+		type option struct {
+			node  int
+			price float64
+			speed float64
+			avail int
+		}
+		var opts []option
+		for id := 0; id < free.Cluster().NumNodes(); id++ {
+			if f := free.Free(id, t); f > 0 {
+				opts = append(opts, option{
+					node:  id,
+					price: pt.price(free, id, t),
+					speed: free.Cluster().Speed(id),
+					avail: f,
+				})
+			}
+		}
+		sort.Slice(opts, func(a, b int) bool {
+			if opts[a].price != opts[b].price {
+				return opts[a].price < opts[b].price
+			}
+			if opts[a].speed != opts[b].speed {
+				return opts[a].speed > opts[b].speed
+			}
+			if opts[a].avail != opts[b].avail {
+				return opts[a].avail > opts[b].avail
+			}
+			return opts[a].node < opts[b].node
+		})
+		for _, o := range opts {
+			if need == 0 {
+				break
+			}
+			take := o.avail
+			if take > need {
+				take = need
+			}
+			out = append(out, cluster.Placement{Node: o.node, Type: t, Count: take})
+			need -= take
+		}
+	}
+	if need > 0 {
+		return nil, false
+	}
+	return out, true
+}

@@ -1,0 +1,259 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+
+	"repro/internal/cluster"
+	"repro/internal/sched"
+)
+
+// Options configures the Hadar scheduler. The zero value is not valid;
+// use DefaultOptions.
+type Options struct {
+	// Utility is the per-job utility U_j(.) the dual subroutine
+	// maximizes. Swapping it expresses other scheduling policies
+	// (Section III.A, "Expressing other scheduling policies").
+	Utility Utility
+	// Eta is the price scaling factor of Eq. 7; 0 derives the
+	// theorem-compatible default from the workload.
+	Eta float64
+	// CommCost is the relative cost surcharge per additional server an
+	// allocation spans (Algorithm 2 line 27 adds a communication cost to
+	// non-consolidated allocations).
+	CommCost float64
+	// Stickiness is the cost discount applied to a job's existing
+	// allocation, suppressing needless checkpoint-restart churn. The
+	// paper observes only ~30% of rounds change an average job's
+	// allocation.
+	Stickiness float64
+	// DPJobLimit bounds the queue size for the exact memoized DP
+	// (Algorithm 2); larger queues fall back to the greedy
+	// payoff-density pass, preserving Fig. 7's scalability.
+	DPJobLimit int
+	// TaskLevel enables mixed-accelerator-type gangs (Hadar's core
+	// feature). Disabling it yields a job-level heterogeneity-aware
+	// scheduler for the DESIGN.md ablation.
+	TaskLevel bool
+	// ExponentialPrice selects Eq. 5's exponential price function; false
+	// uses a linear price (ablation).
+	ExponentialPrice bool
+	// Backfill makes the scheduler work-conserving: after the
+	// positive-payoff primal-dual pass, leftover devices are offered to
+	// the remaining jobs in priority order even when their payoff is
+	// non-positive. This matches the high GPU utilization the paper
+	// reports for Hadar (Fig. 4) without affecting who wins the
+	// contended devices.
+	Backfill bool
+	// Aging boosts a job's queue priority by (1 + age/Aging), in
+	// seconds, so long-pending large jobs eventually claim fast devices.
+	// This bounds the completion-time tail (the paper's Fig. 8 shows a
+	// tight min-max JCT band for Hadar). 0 disables aging.
+	Aging float64
+	// NameSuffix distinguishes ablation variants in reports.
+	NameSuffix string
+}
+
+// DefaultOptions returns the configuration used for the paper's JCT
+// experiments.
+func DefaultOptions() Options {
+	return Options{
+		Utility:          InverseJCT{},
+		CommCost:         0.1,
+		Stickiness:       0.3,
+		DPJobLimit:       10,
+		TaskLevel:        true,
+		ExponentialPrice: true,
+		Backfill:         true,
+	}
+}
+
+// Scheduler is Hadar (Algorithm 1): at every round it recomputes dual
+// prices from the live workload and runs the DP/greedy dual subroutine
+// to admit and place jobs with positive payoff. It implements
+// sched.Scheduler and is not safe for concurrent use.
+type Scheduler struct {
+	opts      Options
+	lastAlpha float64
+}
+
+// New builds a Hadar scheduler. It panics on invalid options so
+// misconfiguration fails fast at construction.
+func New(opts Options) *Scheduler {
+	if err := validateUtility(opts.Utility); err != nil {
+		panic(err)
+	}
+	if opts.CommCost < 0 || opts.Stickiness < 0 || opts.Stickiness >= 1 {
+		panic(fmt.Errorf("core: invalid CommCost %v / Stickiness %v", opts.CommCost, opts.Stickiness))
+	}
+	if opts.DPJobLimit < 0 {
+		panic(fmt.Errorf("core: negative DPJobLimit %d", opts.DPJobLimit))
+	}
+	return &Scheduler{opts: opts}
+}
+
+// Name implements sched.Scheduler.
+func (s *Scheduler) Name() string { return "hadar" + s.opts.NameSuffix }
+
+// LastAlpha returns the competitive-ratio factor alpha (Theorem 2) of
+// the most recent round's price bounds; Hadar is 2*alpha competitive.
+func (s *Scheduler) LastAlpha() float64 { return s.lastAlpha }
+
+// Schedule implements sched.Scheduler.
+func (s *Scheduler) Schedule(ctx *sched.Context) map[int]cluster.Alloc {
+	out := make(map[int]cluster.Alloc)
+	if len(ctx.Jobs) == 0 {
+		return out
+	}
+	pt := newPriceTable(ctx, s.opts.Utility, s.opts.Eta, s.opts.ExponentialPrice)
+	s.lastAlpha = pt.alpha()
+
+	queue := s.orderQueue(ctx)
+	if len(queue) <= s.opts.DPJobLimit {
+		s.dpAllocate(ctx, queue, pt, out)
+	} else {
+		s.greedyAllocate(ctx, queue, pt, out)
+	}
+	if s.opts.Backfill {
+		s.backfill(ctx, queue, pt, out)
+	}
+	return out
+}
+
+// backfill offers leftover devices to jobs the payoff filter rejected,
+// in the same priority order, making the schedule work-conserving.
+func (s *Scheduler) backfill(ctx *sched.Context, queue []*sched.JobState, pt *priceTable, out map[int]cluster.Alloc) {
+	free := cluster.NewState(ctx.Cluster)
+	for _, a := range out {
+		if err := free.Allocate(a); err != nil {
+			return // inconsistent decision; leave as-is
+		}
+	}
+	for _, st := range queue {
+		if st.Remaining <= 0 {
+			continue
+		}
+		if _, ok := out[st.Job.ID]; ok {
+			continue
+		}
+		if free.TotalFree() < st.Job.Workers {
+			continue
+		}
+		cand, ok := s.findAlloc(st, ctx, free, pt)
+		if !ok {
+			continue
+		}
+		if err := free.Allocate(cand.alloc); err != nil {
+			continue
+		}
+		out[st.Job.ID] = cand.alloc
+	}
+}
+
+// orderQueue sorts jobs by descending payoff density: the utility of an
+// immediate full-speed completion per requested worker. This is the
+// order both the greedy pass and the DP consider jobs in.
+func (s *Scheduler) orderQueue(ctx *sched.Context) []*sched.JobState {
+	queue := append([]*sched.JobState(nil), ctx.Jobs...)
+	density := make(map[int]float64, len(queue))
+	for _, st := range queue {
+		j := st.Job
+		_, best, ok := j.BestType()
+		if !ok || st.Remaining <= 0 {
+			density[j.ID] = 0
+			continue
+		}
+		age := ctx.Now - j.Arrival
+		if age < 0 {
+			age = 0
+		}
+		dur := age + st.Remaining/(float64(j.Workers)*best)
+		d := s.opts.Utility.Value(j, st.Remaining, dur) / float64(j.Workers)
+		if s.opts.Aging > 0 {
+			d *= 1 + age/s.opts.Aging
+		}
+		density[j.ID] = d
+	}
+	sort.SliceStable(queue, func(a, b int) bool {
+		da, db := density[queue[a].Job.ID], density[queue[b].Job.ID]
+		if da != db {
+			return da > db
+		}
+		return queue[a].Job.ID < queue[b].Job.ID
+	})
+	return queue
+}
+
+// greedyAllocate is the large-queue path: one pass in payoff-density
+// order, allocating each positive-payoff job at its best candidate and
+// repricing as capacity fills.
+func (s *Scheduler) greedyAllocate(ctx *sched.Context, queue []*sched.JobState, pt *priceTable, out map[int]cluster.Alloc) {
+	free := cluster.NewState(ctx.Cluster)
+	for _, st := range queue {
+		if st.Remaining <= 0 {
+			continue
+		}
+		cand, ok := s.findAlloc(st, ctx, free, pt)
+		if !ok || cand.payoff <= 0 {
+			continue // admission filter mu_j > 0
+		}
+		if err := free.Allocate(cand.alloc); err != nil {
+			continue // raced placement; skip defensively
+		}
+		out[st.Job.ID] = cand.alloc
+	}
+}
+
+// dpAllocate is Algorithm 2's dynamic program: for each job in order,
+// branch on "allocate its best candidate" vs "skip", memoizing on
+// (queue index, free-state signature), and keep the branch with the
+// larger total payoff (equivalently, minimum cost for the chosen
+// utility).
+func (s *Scheduler) dpAllocate(ctx *sched.Context, queue []*sched.JobState, pt *priceTable, out map[int]cluster.Alloc) {
+	type result struct {
+		payoff float64
+		picks  []pick
+	}
+	memo := make(map[string]result)
+	var rec func(idx int, free *cluster.State) result
+	rec = func(idx int, free *cluster.State) result {
+		if idx >= len(queue) || free.TotalFree() == 0 {
+			return result{}
+		}
+		key := strconv.Itoa(idx) + ":" + free.Key()
+		if r, ok := memo[key]; ok {
+			return r
+		}
+		// Branch 1: skip this job.
+		best := rec(idx+1, free)
+		// Branch 2: allocate this job at its best candidate.
+		st := queue[idx]
+		if st.Remaining > 0 {
+			if cand, ok := s.findAlloc(st, ctx, free, pt); ok && cand.payoff > 0 {
+				withState := free.Clone()
+				if err := withState.Allocate(cand.alloc); err == nil {
+					sub := rec(idx+1, withState)
+					total := cand.payoff + sub.payoff
+					if total > best.payoff {
+						picks := make([]pick, 0, len(sub.picks)+1)
+						picks = append(picks, pick{st.Job.ID, cand.alloc})
+						picks = append(picks, sub.picks...)
+						best = result{payoff: total, picks: picks}
+					}
+				}
+			}
+		}
+		memo[key] = best
+		return best
+	}
+	final := rec(0, cluster.NewState(ctx.Cluster))
+	for _, p := range final.picks {
+		out[p.id] = p.alloc
+	}
+}
+
+type pick struct {
+	id    int
+	alloc cluster.Alloc
+}

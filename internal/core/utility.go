@@ -1,0 +1,127 @@
+// Package core implements Hadar, the paper's task-level
+// heterogeneity-aware online scheduler: an online primal-dual framework
+// with a dual resource price per (server, accelerator type) that rises
+// exponentially with utilization (Eq. 5-8), a payoff-based admission
+// test, and a DP/greedy dual subroutine (Algorithm 2) that chooses
+// min-cost task-level allocations, including allocations that mix
+// accelerator types within one job.
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/job"
+	"repro/internal/metrics"
+)
+
+// Utility is U_j(.), the value a job contributes when it completes with
+// the given total duration (f_j - a_j). It must be positive and
+// non-increasing in duration. remaining is the job's outstanding work in
+// iterations, which lets utilities weight partially-done jobs.
+type Utility interface {
+	Name() string
+	Value(j *job.Job, remaining, duration float64) float64
+}
+
+// EffectiveThroughput is the paper's named special case: the average
+// number of iterations completed per second over the job's lifetime,
+// U_j = E_j N_j / (f_j - a_j). Maximizing its sum maximizes aggregate
+// cluster work throughput, which also serves the makespan objective.
+type EffectiveThroughput struct{}
+
+// Name implements Utility.
+func (EffectiveThroughput) Name() string { return "effective-throughput" }
+
+// Value implements Utility.
+func (EffectiveThroughput) Value(j *job.Job, remaining, duration float64) float64 {
+	if duration <= 0 {
+		duration = 1e-9
+	}
+	return j.TotalIters() / duration
+}
+
+// InverseJCT rewards every job equally for completing quickly:
+// U_j = Scale / (f_j - a_j). Under payoff-density scheduling this yields
+// SRPT-like behaviour with built-in aging (an old short job's utility
+// decays fastest), which is the configuration used for the paper's
+// average-JCT experiments ("minimizing the average job completion time
+// is denoted as min sum (f_j - a_j)/J").
+type InverseJCT struct {
+	// Scale calibrates utility magnitude; 0 means a default chosen so
+	// utilities are comparable to effective throughput on typical jobs.
+	Scale float64
+}
+
+// Name implements Utility.
+func (InverseJCT) Name() string { return "inverse-jct" }
+
+// Value implements Utility.
+func (u InverseJCT) Value(j *job.Job, remaining, duration float64) float64 {
+	if duration <= 0 {
+		duration = 1e-9
+	}
+	scale := u.Scale
+	if scale == 0 {
+		scale = 3600 * float64(j.Workers)
+	}
+	return scale / duration
+}
+
+// Balanced interpolates between InverseJCT (size-independent reward,
+// SRPT-like) and EffectiveThroughput (size-proportional reward,
+// LPT-like): U_j = sqrt(E_j N_j) / (f_j - a_j). Short jobs still finish
+// first, but large jobs claim fast devices once the short-job backlog
+// drains, which bounds the completion tail and keeps the makespan
+// competitive while retaining most of the average-JCT win.
+type Balanced struct{}
+
+// Name implements Utility.
+func (Balanced) Name() string { return "balanced" }
+
+// Value implements Utility.
+func (Balanced) Value(j *job.Job, remaining, duration float64) float64 {
+	if duration <= 0 {
+		duration = 1e-9
+	}
+	return math.Sqrt(j.TotalIters()) * float64(j.Workers) / duration
+}
+
+// FinishTimeFairness expresses the Themis FTF objective: the utility is
+// the ratio of the job's isolated (1/n cluster share) runtime to its
+// actual duration, so jobs running far behind their fair share gain the
+// most from being scheduled.
+type FinishTimeFairness struct {
+	// Jobs is n, the number of jobs sharing the cluster; TotalGPUs the
+	// cluster size. Both must be positive.
+	Jobs      int
+	TotalGPUs int
+}
+
+// Name implements Utility.
+func (FinishTimeFairness) Name() string { return "finish-time-fairness" }
+
+// Value implements Utility.
+func (u FinishTimeFairness) Value(j *job.Job, remaining, duration float64) float64 {
+	if duration <= 0 {
+		duration = 1e-9
+	}
+	_, best, ok := j.BestType()
+	if !ok {
+		return 0
+	}
+	iso := metrics.IsolatedDuration(j.TotalIters(), j.Workers, best, u.Jobs, u.TotalGPUs)
+	return iso / duration
+}
+
+func validateUtility(u Utility) error {
+	if u == nil {
+		return fmt.Errorf("core: nil utility")
+	}
+	if f, ok := u.(FinishTimeFairness); ok {
+		if f.Jobs <= 0 || f.TotalGPUs <= 0 {
+			return fmt.Errorf("core: FinishTimeFairness requires positive Jobs and TotalGPUs")
+		}
+	}
+	return nil
+}

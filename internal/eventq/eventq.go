@@ -1,0 +1,208 @@
+// Package eventq implements the priority queues used by the simulator
+// and the schedulers: a time-ordered event queue for discrete-event
+// processing and a generic indexed min-heap that supports updating an
+// element's priority in place (needed for Tiresias' attained-service
+// queues and Gavel's priority rounds).
+package eventq
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Event is a timestamped payload in an EventQueue. Ties on Time are
+// broken by ascending Seq (FIFO among simultaneous events) so the
+// simulation is deterministic.
+type Event struct {
+	Time    float64
+	Seq     int
+	Payload interface{}
+}
+
+// EventQueue is a min-heap of Events ordered by (Time, Seq). The zero
+// value is ready to use.
+type EventQueue struct {
+	h   eventHeap
+	seq int
+}
+
+type eventHeap []Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].Time != h[j].Time {
+		return h[i].Time < h[j].Time
+	}
+	return h[i].Seq < h[j].Seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(Event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// Push schedules payload at the given time.
+func (q *EventQueue) Push(time float64, payload interface{}) {
+	q.seq++
+	heap.Push(&q.h, Event{Time: time, Seq: q.seq, Payload: payload})
+}
+
+// Pop removes and returns the earliest event. It panics on an empty
+// queue; check Len first.
+func (q *EventQueue) Pop() Event {
+	if len(q.h) == 0 {
+		panic("eventq: Pop on empty EventQueue")
+	}
+	return heap.Pop(&q.h).(Event)
+}
+
+// Peek returns the earliest event without removing it. It panics on an
+// empty queue.
+func (q *EventQueue) Peek() Event {
+	if len(q.h) == 0 {
+		panic("eventq: Peek on empty EventQueue")
+	}
+	return q.h[0]
+}
+
+// Len reports the number of pending events.
+func (q *EventQueue) Len() int { return len(q.h) }
+
+// Indexed is a min-heap of integer IDs keyed by a float64 priority,
+// supporting O(log n) priority updates and removals by ID. Lower
+// priority values pop first; ties break by ascending ID.
+type Indexed struct {
+	ids  []int
+	prio map[int]float64
+	pos  map[int]int
+}
+
+// NewIndexed returns an empty indexed heap.
+func NewIndexed() *Indexed {
+	return &Indexed{prio: make(map[int]float64), pos: make(map[int]int)}
+}
+
+// Len reports the number of elements.
+func (x *Indexed) Len() int { return len(x.ids) }
+
+func (x *Indexed) less(i, j int) bool {
+	pi, pj := x.prio[x.ids[i]], x.prio[x.ids[j]]
+	if pi != pj {
+		return pi < pj
+	}
+	return x.ids[i] < x.ids[j]
+}
+
+func (x *Indexed) swap(i, j int) {
+	x.ids[i], x.ids[j] = x.ids[j], x.ids[i]
+	x.pos[x.ids[i]] = i
+	x.pos[x.ids[j]] = j
+}
+
+func (x *Indexed) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !x.less(i, parent) {
+			break
+		}
+		x.swap(i, parent)
+		i = parent
+	}
+}
+
+func (x *Indexed) down(i int) {
+	n := len(x.ids)
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < n && x.less(l, smallest) {
+			smallest = l
+		}
+		if r < n && x.less(r, smallest) {
+			smallest = r
+		}
+		if smallest == i {
+			return
+		}
+		x.swap(i, smallest)
+		i = smallest
+	}
+}
+
+// Push inserts id with the given priority. It panics if id is already
+// present; use Update instead.
+func (x *Indexed) Push(id int, priority float64) {
+	if _, ok := x.pos[id]; ok {
+		panic(fmt.Sprintf("eventq: duplicate id %d", id))
+	}
+	x.ids = append(x.ids, id)
+	x.prio[id] = priority
+	x.pos[id] = len(x.ids) - 1
+	x.up(len(x.ids) - 1)
+}
+
+// Pop removes and returns the id with the smallest priority, and that
+// priority. It panics on an empty heap.
+func (x *Indexed) Pop() (int, float64) {
+	if len(x.ids) == 0 {
+		panic("eventq: Pop on empty Indexed heap")
+	}
+	id := x.ids[0]
+	p := x.prio[id]
+	x.Remove(id)
+	return id, p
+}
+
+// Peek returns the minimum id and priority without removing it. It
+// panics on an empty heap.
+func (x *Indexed) Peek() (int, float64) {
+	if len(x.ids) == 0 {
+		panic("eventq: Peek on empty Indexed heap")
+	}
+	return x.ids[0], x.prio[x.ids[0]]
+}
+
+// Contains reports whether id is in the heap.
+func (x *Indexed) Contains(id int) bool {
+	_, ok := x.pos[id]
+	return ok
+}
+
+// Priority returns the priority of id and whether it is present.
+func (x *Indexed) Priority(id int) (float64, bool) {
+	p, ok := x.prio[id]
+	return p, ok
+}
+
+// Update changes id's priority, restoring heap order. It panics if id is
+// absent.
+func (x *Indexed) Update(id int, priority float64) {
+	i, ok := x.pos[id]
+	if !ok {
+		panic(fmt.Sprintf("eventq: Update of absent id %d", id))
+	}
+	x.prio[id] = priority
+	x.up(i)
+	x.down(x.pos[id])
+}
+
+// Remove deletes id from the heap. It panics if id is absent.
+func (x *Indexed) Remove(id int) {
+	i, ok := x.pos[id]
+	if !ok {
+		panic(fmt.Sprintf("eventq: Remove of absent id %d", id))
+	}
+	last := len(x.ids) - 1
+	x.swap(i, last)
+	x.ids = x.ids[:last]
+	delete(x.pos, id)
+	delete(x.prio, id)
+	if i < last {
+		x.up(i)
+		x.down(x.pos[x.ids[i]])
+	}
+}

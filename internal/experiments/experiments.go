@@ -1,0 +1,166 @@
+// Package experiments reproduces the Hadar paper's evaluation: it
+// builds the simulated and prototype cluster configurations, constructs
+// the four schedulers under comparison, and provides one harness
+// function per table and figure in Section IV. Each harness returns a
+// typed result plus a formatted table mirroring the paper's rows/series.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/gavel"
+	"repro/internal/gpu"
+	"repro/internal/job"
+	"repro/internal/metrics"
+	"repro/internal/parallel"
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/tiresias"
+	"repro/internal/yarncs"
+)
+
+// SimCluster returns the paper's simulated cluster: 15 nodes with 20
+// GPUs of each type (V100, P100, K80), i.e. 5 nodes x 4 GPUs per type.
+func SimCluster() *cluster.Cluster {
+	return cluster.Merge(
+		cluster.Homogeneous(5, gpu.V100, 4),
+		cluster.Homogeneous(5, gpu.P100, 4),
+		cluster.Homogeneous(5, gpu.K80, 4),
+	)
+}
+
+// ScaledSimCluster returns a cluster with the paper's 1:1:1 type mix but
+// `perType` GPUs of each type, for scalability sweeps and fast tests.
+func ScaledSimCluster(perType int) *cluster.Cluster {
+	nodes := (perType + 3) / 4
+	fleets := make([]gpu.Fleet, 0, 3*nodes)
+	for _, t := range []gpu.Type{gpu.V100, gpu.P100, gpu.K80} {
+		remaining := perType
+		for i := 0; i < nodes; i++ {
+			n := 4
+			if n > remaining {
+				n = remaining
+			}
+			if n > 0 {
+				fleets = append(fleets, gpu.Fleet{t: n})
+			}
+			remaining -= n
+		}
+	}
+	return cluster.New(fleets...)
+}
+
+// PhysicalCluster returns the paper's AWS prototype: 8 instances with
+// one GPU each — two T4 (g4dn), two K520 (g2dn), two K80 (p2), two V100
+// (p3).
+func PhysicalCluster() *cluster.Cluster {
+	return cluster.New(
+		gpu.Fleet{gpu.T4: 1}, gpu.Fleet{gpu.T4: 1},
+		gpu.Fleet{gpu.K520: 1}, gpu.Fleet{gpu.K520: 1},
+		gpu.Fleet{gpu.K80: 1}, gpu.Fleet{gpu.K80: 1},
+		gpu.Fleet{gpu.V100: 1}, gpu.Fleet{gpu.V100: 1},
+	)
+}
+
+// NewHadar returns Hadar configured for the JCT experiments.
+func NewHadar() sched.Scheduler { return core.New(core.DefaultOptions()) }
+
+// NewHadarMakespan returns Hadar with the utility swapped to the
+// effective-throughput objective, the configuration the paper uses when
+// it "flexibly specifies the scheduling policy towards makespan
+// minimization" (Fig. 6).
+func NewHadarMakespan() sched.Scheduler {
+	opts := core.DefaultOptions()
+	opts.Utility = core.EffectiveThroughput{}
+	opts.NameSuffix = "-makespan"
+	return core.New(opts)
+}
+
+// NewHadarFTF returns Hadar with the finish-time-fairness utility for
+// the given workload size and cluster.
+func NewHadarFTF(jobs, totalGPUs int) sched.Scheduler {
+	opts := core.DefaultOptions()
+	opts.Utility = core.FinishTimeFairness{Jobs: jobs, TotalGPUs: totalGPUs}
+	opts.NameSuffix = "-ftf"
+	return core.New(opts)
+}
+
+// NewGavel returns the Gavel baseline in its paper configuration.
+func NewGavel() sched.Scheduler { return gavel.New(gavel.Options{}) }
+
+// NewTiresias returns the Tiresias baseline (two queues, PromoteKnob
+// disabled).
+func NewTiresias() sched.Scheduler { return tiresias.New(tiresias.DefaultOptions()) }
+
+// NewYARNCS returns the YARN capacity-scheduler baseline.
+func NewYARNCS() sched.Scheduler { return yarncs.New() }
+
+// Comparison holds the per-scheduler reports of one experiment.
+type Comparison struct {
+	Order   []string
+	Reports map[string]*metrics.Report
+}
+
+// RunComparison simulates each scheduler on its own copy of the trace —
+// in parallel, one goroutine per scheduler (the simulations share
+// nothing but the immutable cluster and jobs) — and collects the
+// reports in input order.
+func RunComparison(c *cluster.Cluster, jobs []*job.Job, scheds []sched.Scheduler, opts sim.Options) (*Comparison, error) {
+	reports, err := parallel.Map(0, scheds, func(s sched.Scheduler) (*metrics.Report, error) {
+		r, err := sim.Run(c, jobs, s, opts)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: %s: %w", s.Name(), err)
+		}
+		return r, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	cmp := &Comparison{Reports: make(map[string]*metrics.Report, len(scheds))}
+	for i, s := range scheds {
+		cmp.Order = append(cmp.Order, s.Name())
+		cmp.Reports[s.Name()] = reports[i]
+	}
+	return cmp, nil
+}
+
+// Speedup returns how many times larger metric(b) is than metric(a),
+// i.e. the paper's "Hadar improves X by N x over B" with a as Hadar.
+func (c *Comparison) Speedup(a, b string, metric func(*metrics.Report) float64) float64 {
+	ra, rb := c.Reports[a], c.Reports[b]
+	if ra == nil || rb == nil {
+		return 0
+	}
+	va := metric(ra)
+	if va == 0 {
+		return 0
+	}
+	return metric(rb) / va
+}
+
+// Table renders the headline metrics of every scheduler.
+func (c *Comparison) Table() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-18s %12s %12s %12s %9s %8s %8s %10s\n",
+		"scheduler", "avgJCT(h)", "medJCT(h)", "makespan(h)", "util(%)", "occ(%)", "FTF", "queue(h)")
+	for _, name := range c.Order {
+		r := c.Reports[name]
+		fmt.Fprintf(&sb, "%-18s %12.3f %12.3f %12.3f %9.1f %8.1f %8.2f %10.3f\n",
+			name, r.AvgJCT()/3600, r.MedianJCT()/3600, r.Makespan/3600,
+			100*r.Utilization(), 100*r.Occupancy(), r.AvgFTF(), r.AvgQueueDelay()/3600)
+	}
+	return sb.String()
+}
+
+// SortedNames returns scheduler names ordered by ascending average JCT.
+func (c *Comparison) SortedNames() []string {
+	names := append([]string(nil), c.Order...)
+	sort.Slice(names, func(a, b int) bool {
+		return c.Reports[names[a]].AvgJCT() < c.Reports[names[b]].AvgJCT()
+	})
+	return names
+}

@@ -1,0 +1,57 @@
+package experiments
+
+import (
+	"testing"
+
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// smallComparison runs a scaled-down version of the paper's static-trace
+// experiment: same cluster shape, fewer jobs, so tests stay fast.
+func smallComparison(t *testing.T, numJobs int, seed int64) *Comparison {
+	t.Helper()
+	c := SimCluster()
+	cfg := trace.DefaultConfig()
+	cfg.NumJobs = numJobs
+	cfg.Seed = seed
+	jobs, err := trace.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scheds := []sched.Scheduler{NewHadar(), NewGavel(), NewTiresias(), NewYARNCS()}
+	cmp, err := RunComparison(c, jobs, scheds, sim.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cmp
+}
+
+// TestHeadlineShape verifies the paper's headline result holds in the
+// reproduction: Hadar achieves the lowest average JCT, beating Gavel,
+// Tiresias and (by a wide margin) YARN-CS.
+func TestHeadlineShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full comparison is slow")
+	}
+	cmp := smallComparison(t, 96, 1)
+	t.Log("\n" + cmp.Table())
+
+	avg := func(r interface{ AvgJCT() float64 }) float64 { return r.AvgJCT() }
+	_ = avg
+	hadar := cmp.Reports["hadar"].AvgJCT()
+	gavelJCT := cmp.Reports["gavel"].AvgJCT()
+	tiresiasJCT := cmp.Reports["tiresias"].AvgJCT()
+	yarnJCT := cmp.Reports["yarn-cs"].AvgJCT()
+
+	if hadar >= gavelJCT {
+		t.Errorf("Hadar avg JCT %.0fs not better than Gavel %.0fs", hadar, gavelJCT)
+	}
+	if hadar >= tiresiasJCT {
+		t.Errorf("Hadar avg JCT %.0fs not better than Tiresias %.0fs", hadar, tiresiasJCT)
+	}
+	if hadar >= yarnJCT {
+		t.Errorf("Hadar avg JCT %.0fs not better than YARN-CS %.0fs", hadar, yarnJCT)
+	}
+}

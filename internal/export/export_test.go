@@ -1,0 +1,149 @@
+package export
+
+import (
+	"bytes"
+	"encoding/csv"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/metrics"
+)
+
+func sampleComparison() *experiments.Comparison {
+	mk := func(name string, jct float64) *metrics.Report {
+		return &metrics.Report{
+			Scheduler: name,
+			Jobs: []metrics.JobResult{
+				{ID: 0, Model: "LSTM", Workers: 2, Arrival: 0, Start: 10,
+					Finish: jct, IsolatedDuration: jct / 2, TotalIters: 100},
+				{ID: 1, Model: "ResNet-50", Workers: 1, Arrival: 5, Start: 20,
+					Finish: jct * 2, IsolatedDuration: jct, TotalIters: 200},
+			},
+			Makespan:       jct * 2,
+			BusyGPUSeconds: 100,
+			HeldGPUSeconds: 120,
+			TotalGPUs:      4,
+			RoundHeld:      []int{4, 3, 1},
+			RoundStarts:    []float64{0, 360, 720},
+		}
+	}
+	return &experiments.Comparison{
+		Order: []string{"hadar", "gavel"},
+		Reports: map[string]*metrics.Report{
+			"hadar": mk("hadar", 100),
+			"gavel": mk("gavel", 150),
+		},
+	}
+}
+
+func parseCSV(t *testing.T, buf *bytes.Buffer) [][]string {
+	t.Helper()
+	rows, err := csv.NewReader(buf).ReadAll()
+	if err != nil {
+		t.Fatalf("exported CSV does not parse: %v", err)
+	}
+	return rows
+}
+
+func TestComparisonCSV(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Comparison(&buf, sampleComparison()); err != nil {
+		t.Fatal(err)
+	}
+	rows := parseCSV(t, &buf)
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d, want header + 2", len(rows))
+	}
+	if rows[0][0] != "scheduler" || len(rows[0]) != 12 {
+		t.Errorf("header = %v", rows[0])
+	}
+	if rows[1][0] != "hadar" || rows[2][0] != "gavel" {
+		t.Errorf("scheduler order = %v %v", rows[1][0], rows[2][0])
+	}
+}
+
+func TestCompletionCDFCSV(t *testing.T) {
+	var buf bytes.Buffer
+	if err := CompletionCDF(&buf, sampleComparison()); err != nil {
+		t.Fatal(err)
+	}
+	rows := parseCSV(t, &buf)
+	// header + 2 schedulers x 2 distinct finish times.
+	if len(rows) != 5 {
+		t.Fatalf("rows = %d, want 5", len(rows))
+	}
+	last := rows[len(rows)-1]
+	if last[2] != "1" {
+		t.Errorf("final CDF fraction = %v, want 1", last[2])
+	}
+}
+
+func TestJobsCSV(t *testing.T) {
+	var buf bytes.Buffer
+	cmp := sampleComparison()
+	if err := Jobs(&buf, "hadar", cmp.Reports["hadar"]); err != nil {
+		t.Fatal(err)
+	}
+	rows := parseCSV(t, &buf)
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	if rows[1][2] != "LSTM" || rows[2][2] != "ResNet-50" {
+		t.Errorf("model columns wrong: %v", rows)
+	}
+}
+
+func TestFig7CSV(t *testing.T) {
+	var buf bytes.Buffer
+	r := &experiments.Fig7Result{Points: []experiments.Fig7Point{
+		{Jobs: 32, GPUs: 12, HadarLatency: 50 * time.Microsecond, GavelLatency: 80 * time.Microsecond},
+	}}
+	if err := Fig7(&buf, r); err != nil {
+		t.Fatal(err)
+	}
+	rows := parseCSV(t, &buf)
+	if len(rows) != 2 || rows[1][0] != "32" || rows[1][2] != "50" {
+		t.Errorf("Fig7 rows = %v", rows)
+	}
+}
+
+func TestFig8And9CSV(t *testing.T) {
+	var buf bytes.Buffer
+	r8 := &experiments.Fig8Result{Points: []experiments.Fig8Point{
+		{RatePerHour: 2, Scheduler: "hadar", MinJCT: 1, AvgJCT: 2, MaxJCT: 3},
+	}}
+	if err := Fig8(&buf, r8); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "hadar") {
+		t.Error("Fig8 CSV missing scheduler")
+	}
+	buf.Reset()
+	r9 := &experiments.Fig9Result{Points: []experiments.Fig9Point{
+		{RoundMinutes: 6, RatePerHour: 2, AvgJCT: 100},
+	}}
+	if err := Fig9(&buf, r9); err != nil {
+		t.Fatal(err)
+	}
+	rows := parseCSV(t, &buf)
+	if len(rows) != 2 || rows[1][0] != "6" {
+		t.Errorf("Fig9 rows = %v", rows)
+	}
+}
+
+func TestOccupancySeriesCSV(t *testing.T) {
+	var buf bytes.Buffer
+	cmp := sampleComparison()
+	if err := OccupancySeries(&buf, cmp.Reports["hadar"]); err != nil {
+		t.Fatal(err)
+	}
+	rows := parseCSV(t, &buf)
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d, want header + 3 rounds", len(rows))
+	}
+	if rows[2][0] != "360" || rows[2][1] != "3" {
+		t.Errorf("round row = %v", rows[2])
+	}
+}

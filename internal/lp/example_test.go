@@ -1,0 +1,24 @@
+package lp_test
+
+import (
+	"fmt"
+
+	"repro/internal/lp"
+)
+
+// Example solves a two-variable production problem:
+// maximize 5x + 4y subject to 6x + 4y <= 24 and x + 2y <= 6.
+func Example() {
+	sol, err := lp.Solve(lp.Problem{
+		C: []float64{5, 4},
+		A: [][]float64{{6, 4}, {1, 2}},
+		B: []float64{24, 6},
+	})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("%v x=%.1f y=%.1f objective=%.0f\n",
+		sol.Status, sol.X[0], sol.X[1], sol.Objective)
+	// Output: optimal x=3.0 y=1.5 objective=21
+}

@@ -1,0 +1,47 @@
+package lp
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzSolve feeds randomized 2-variable LPs to the solver and checks
+// that any Optimal result is primal feasible and that the solver never
+// panics or loops. Run with `go test -fuzz=FuzzSolve ./internal/lp`.
+func FuzzSolve(f *testing.F) {
+	f.Add(1.0, 1.0, 1.0, 1.0, 4.0, 1.0, 3.0, 6.0)
+	f.Add(3.0, 2.0, 1.0, 1.0, 4.0, 1.0, 3.0, 6.0)
+	f.Add(-1.0, 0.5, -2.0, 1.0, -1.0, 0.0, 1.0, 2.0)
+	f.Fuzz(func(t *testing.T, c1, c2, a11, a12, b1, a21, a22, b2 float64) {
+		for _, v := range []float64{c1, c2, a11, a12, b1, a21, a22, b2} {
+			if math.IsNaN(v) || math.IsInf(v, 0) || math.Abs(v) > 1e9 {
+				t.Skip("out of supported range")
+			}
+		}
+		p := Problem{
+			C: []float64{c1, c2},
+			A: [][]float64{{a11, a12}, {a21, a22}, {1, 0}, {0, 1}},
+			B: []float64{b1, b2, 100, 100}, // box keeps it bounded above
+		}
+		s, err := Solve(p)
+		if err != nil {
+			// Pivot-budget exhaustion on adversarial numerics is
+			// acceptable; crashes are not.
+			return
+		}
+		if s.Status != Optimal {
+			return
+		}
+		for j, x := range s.X {
+			if x < -1e-6 {
+				t.Fatalf("negative solution x[%d]=%v", j, x)
+			}
+		}
+		for i, row := range p.A {
+			lhs := row[0]*s.X[0] + row[1]*s.X[1]
+			if lhs > p.B[i]+1e-4*(1+math.Abs(p.B[i])) {
+				t.Fatalf("constraint %d violated: %v > %v (x=%v)", i, lhs, p.B[i], s.X)
+			}
+		}
+	})
+}

@@ -1,0 +1,332 @@
+// Package lp implements a dense two-phase simplex solver for linear
+// programs in the inequality form
+//
+//	maximize    c·x
+//	subject to  A x <= b,  x >= 0.
+//
+// It is the optimization substrate for the Gavel baseline (whose
+// heterogeneity-aware max-min policy is a small LP; the original system
+// uses cvxpy) and for the offline bound computations in the experiment
+// harness. Rows with negative right-hand sides are handled through a
+// phase-1 artificial-variable pass, so >= constraints can be expressed by
+// negating a row.
+//
+// The solver uses Dantzig pricing with a Bland's-rule fallback for
+// anti-cycling, so it terminates on every input.
+package lp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Status describes the outcome of Solve.
+type Status int
+
+const (
+	// Optimal means an optimal feasible solution was found.
+	Optimal Status = iota
+	// Infeasible means the constraint set is empty.
+	Infeasible
+	// Unbounded means the objective can grow without bound.
+	Unbounded
+)
+
+// String returns a human-readable status name.
+func (s Status) String() string {
+	switch s {
+	case Optimal:
+		return "optimal"
+	case Infeasible:
+		return "infeasible"
+	case Unbounded:
+		return "unbounded"
+	}
+	return fmt.Sprintf("Status(%d)", int(s))
+}
+
+// Problem is a linear program: maximize C·x subject to A x <= B, x >= 0.
+// Every row of A must have len(C) entries.
+type Problem struct {
+	C []float64
+	A [][]float64
+	B []float64
+}
+
+// Solution is the result of solving a Problem.
+type Solution struct {
+	Status    Status
+	X         []float64 // primal solution (valid when Status == Optimal)
+	Objective float64   // C·X (valid when Status == Optimal)
+}
+
+const (
+	eps = 1e-9
+	// blandAfter switches from Dantzig pricing to Bland's rule after this
+	// many pivots, guaranteeing termination on degenerate problems.
+	blandAfter = 5000
+	maxPivots  = 200000
+)
+
+// ErrTooManyPivots is returned if the solver exceeds its pivot budget,
+// which indicates a numerically pathological input.
+var ErrTooManyPivots = errors.New("lp: pivot budget exceeded")
+
+// Validate checks dimensional consistency of the problem.
+func (p Problem) Validate() error {
+	if len(p.A) != len(p.B) {
+		return fmt.Errorf("lp: %d constraint rows but %d right-hand sides", len(p.A), len(p.B))
+	}
+	for i, row := range p.A {
+		if len(row) != len(p.C) {
+			return fmt.Errorf("lp: row %d has %d coefficients, want %d", i, len(row), len(p.C))
+		}
+	}
+	for i, b := range p.B {
+		if math.IsNaN(b) || math.IsInf(b, 0) {
+			return fmt.Errorf("lp: non-finite right-hand side in row %d", i)
+		}
+	}
+	for j, c := range p.C {
+		if math.IsNaN(c) || math.IsInf(c, 0) {
+			return fmt.Errorf("lp: non-finite objective coefficient %d", j)
+		}
+	}
+	return nil
+}
+
+// tableau holds the simplex working state. Columns are laid out as
+// [original variables | slacks | artificials]; rows[i][cols] is the RHS.
+type tableau struct {
+	rows   [][]float64 // m x (cols+1)
+	obj    []float64   // reduced-cost row, length cols+1 (last = -objective value)
+	basis  []int       // basic variable per row
+	cols   int         // total variable count
+	n      int         // original variable count
+	pivots int
+}
+
+// Solve optimizes the problem. The returned error is non-nil only for
+// malformed input or pivot-budget exhaustion; infeasibility and
+// unboundedness are reported through Solution.Status.
+func Solve(p Problem) (Solution, error) {
+	if err := p.Validate(); err != nil {
+		return Solution{}, err
+	}
+	m, n := len(p.A), len(p.C)
+
+	// Count artificials: one per row with negative RHS.
+	numArt := 0
+	for _, b := range p.B {
+		if b < 0 {
+			numArt++
+		}
+	}
+	cols := n + m + numArt
+	t := &tableau{
+		rows:  make([][]float64, m),
+		obj:   make([]float64, cols+1),
+		basis: make([]int, m),
+		cols:  cols,
+		n:     n,
+	}
+	art := n + m // next artificial column index
+	artCols := make([]int, 0, numArt)
+	for i := 0; i < m; i++ {
+		row := make([]float64, cols+1)
+		sign := 1.0
+		if p.B[i] < 0 {
+			sign = -1.0
+		}
+		for j := 0; j < n; j++ {
+			row[j] = sign * p.A[i][j]
+		}
+		row[n+i] = sign // slack (negated when the row was flipped)
+		row[cols] = sign * p.B[i]
+		if sign < 0 {
+			row[art] = 1
+			t.basis[i] = art
+			artCols = append(artCols, art)
+			art++
+		} else {
+			t.basis[i] = n + i
+		}
+		t.rows[i] = row
+	}
+
+	if numArt > 0 {
+		// Phase 1: minimize the sum of artificials, i.e. maximize -sum.
+		for _, c := range artCols {
+			t.obj[c] = 1
+		}
+		// Price out the basic artificials so reduced costs are consistent.
+		for i, b := range t.basis {
+			if b >= n+m {
+				addScaled(t.obj, t.rows[i], -1)
+			}
+		}
+		if err := t.iterate(); err != nil {
+			return Solution{}, err
+		}
+		if t.obj[cols] < -eps {
+			// Residual artificial infeasibility.
+			return Solution{Status: Infeasible}, nil
+		}
+		// Pivot any artificial still in the basis out (degenerate rows).
+		for i := 0; i < m; i++ {
+			if t.basis[i] < n+m {
+				continue
+			}
+			pivoted := false
+			for j := 0; j < n+m; j++ {
+				if math.Abs(t.rows[i][j]) > eps {
+					t.pivot(i, j)
+					pivoted = true
+					break
+				}
+			}
+			if !pivoted {
+				// Row is all zeros over real variables: redundant
+				// constraint; leave the artificial basic at value 0.
+				t.rows[i][cols] = 0
+			}
+		}
+		// Freeze artificial columns at zero for phase 2.
+		for _, c := range artCols {
+			for i := 0; i < m; i++ {
+				t.rows[i][c] = 0
+			}
+		}
+	}
+
+	// Phase 2: restore the real objective. Reduced-cost row starts as -C
+	// for original variables, then price out basic variables.
+	for j := range t.obj {
+		t.obj[j] = 0
+	}
+	for j := 0; j < n; j++ {
+		t.obj[j] = -p.C[j]
+	}
+	for i, b := range t.basis {
+		if b < n && p.C[b] != 0 {
+			addScaled(t.obj, t.rows[i], p.C[b])
+		}
+	}
+	t.pivots = 0
+	if err := t.iterate(); err != nil {
+		if errors.Is(err, errUnbounded) {
+			return Solution{Status: Unbounded}, nil
+		}
+		return Solution{}, err
+	}
+
+	x := make([]float64, n)
+	for i, b := range t.basis {
+		if b < n {
+			x[b] = t.rows[i][cols]
+		}
+	}
+	objective := 0.0
+	for j := 0; j < n; j++ {
+		objective += p.C[j] * x[j]
+	}
+	return Solution{Status: Optimal, X: x, Objective: objective}, nil
+}
+
+var errUnbounded = errors.New("lp: unbounded")
+
+// iterate runs simplex pivots until optimality, unboundedness or budget
+// exhaustion.
+func (t *tableau) iterate() error {
+	for {
+		col := t.chooseEntering()
+		if col < 0 {
+			return nil // optimal
+		}
+		row := t.chooseLeaving(col)
+		if row < 0 {
+			return errUnbounded
+		}
+		t.pivot(row, col)
+		t.pivots++
+		if t.pivots > maxPivots {
+			return ErrTooManyPivots
+		}
+	}
+}
+
+// chooseEntering returns the entering column, or -1 at optimality.
+// Artificial columns (>= n+m in phase 2) are never re-entered because
+// phase 2 zeroes them.
+func (t *tableau) chooseEntering() int {
+	if t.pivots < blandAfter {
+		best, bestVal := -1, -eps
+		for j := 0; j < t.cols; j++ {
+			if t.obj[j] < bestVal {
+				bestVal = t.obj[j]
+				best = j
+			}
+		}
+		return best
+	}
+	// Bland's rule: smallest index with negative reduced cost.
+	for j := 0; j < t.cols; j++ {
+		if t.obj[j] < -eps {
+			return j
+		}
+	}
+	return -1
+}
+
+// chooseLeaving runs the minimum-ratio test on column col, returning the
+// leaving row or -1 if the column is unbounded. Ties break by smallest
+// basis variable index (Bland) to prevent cycling.
+func (t *tableau) chooseLeaving(col int) int {
+	bestRow := -1
+	bestRatio := math.Inf(1)
+	for i := range t.rows {
+		a := t.rows[i][col]
+		if a <= eps {
+			continue
+		}
+		ratio := t.rows[i][t.cols] / a
+		if ratio < bestRatio-eps ||
+			(ratio < bestRatio+eps && (bestRow < 0 || t.basis[i] < t.basis[bestRow])) {
+			bestRatio = ratio
+			bestRow = i
+		}
+	}
+	return bestRow
+}
+
+// pivot makes (row, col) the new basic position.
+func (t *tableau) pivot(row, col int) {
+	pr := t.rows[row]
+	inv := 1 / pr[col]
+	for j := range pr {
+		pr[j] *= inv
+	}
+	pr[col] = 1 // avoid residual rounding on the pivot element
+	for i := range t.rows {
+		if i == row {
+			continue
+		}
+		if f := t.rows[i][col]; f != 0 {
+			addScaled(t.rows[i], pr, -f)
+			t.rows[i][col] = 0
+		}
+	}
+	if f := t.obj[col]; f != 0 {
+		addScaled(t.obj, pr, -f)
+		t.obj[col] = 0
+	}
+	t.basis[row] = col
+}
+
+// addScaled computes dst += scale * src element-wise.
+func addScaled(dst, src []float64, scale float64) {
+	for j := range dst {
+		dst[j] += scale * src[j]
+	}
+}

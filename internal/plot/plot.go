@@ -1,0 +1,233 @@
+// Package plot renders simple ASCII line and bar charts for the
+// terminal, so `cmd/experiments -plot` can draw the paper's figures
+// without any external plotting dependency.
+package plot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// markers are assigned to series in order.
+var markers = []byte{'*', '+', 'o', 'x', '#', '@', '%', '&'}
+
+// Series is one named line of a chart.
+type Series struct {
+	Name string
+	X    []float64
+	Y    []float64
+}
+
+// LineChart plots one or more series on shared axes.
+type LineChart struct {
+	Title  string
+	XLabel string
+	YLabel string
+	// Width and Height are the plot area in character cells; zero
+	// selects 64x16.
+	Width  int
+	Height int
+	Series []Series
+}
+
+func (c *LineChart) dims() (w, h int) {
+	w, h = c.Width, c.Height
+	if w <= 0 {
+		w = 64
+	}
+	if h <= 0 {
+		h = 16
+	}
+	if w < 8 {
+		w = 8
+	}
+	if h < 4 {
+		h = 4
+	}
+	return w, h
+}
+
+// bounds returns the data range across all series, widening degenerate
+// ranges so scaling never divides by zero.
+func (c *LineChart) bounds() (xmin, xmax, ymin, ymax float64, ok bool) {
+	xmin, ymin = math.Inf(1), math.Inf(1)
+	xmax, ymax = math.Inf(-1), math.Inf(-1)
+	for _, s := range c.Series {
+		for i := range s.X {
+			if i >= len(s.Y) {
+				break
+			}
+			x, y := s.X[i], s.Y[i]
+			if math.IsNaN(x) || math.IsNaN(y) || math.IsInf(x, 0) || math.IsInf(y, 0) {
+				continue
+			}
+			xmin, xmax = math.Min(xmin, x), math.Max(xmax, x)
+			ymin, ymax = math.Min(ymin, y), math.Max(ymax, y)
+			ok = true
+		}
+	}
+	if !ok {
+		return 0, 1, 0, 1, false
+	}
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+	if ymax == ymin {
+		ymax = ymin + 1
+	}
+	return xmin, xmax, ymin, ymax, true
+}
+
+// Render draws the chart.
+func (c *LineChart) Render() string {
+	w, h := c.dims()
+	xmin, xmax, ymin, ymax, ok := c.bounds()
+	var sb strings.Builder
+	if c.Title != "" {
+		sb.WriteString(c.Title)
+		sb.WriteByte('\n')
+	}
+	if !ok {
+		sb.WriteString("(no data)\n")
+		return sb.String()
+	}
+	grid := make([][]byte, h)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", w))
+	}
+	for si, s := range c.Series {
+		m := markers[si%len(markers)]
+		for i := range s.X {
+			if i >= len(s.Y) {
+				break
+			}
+			x, y := s.X[i], s.Y[i]
+			if math.IsNaN(x) || math.IsNaN(y) || math.IsInf(x, 0) || math.IsInf(y, 0) {
+				continue
+			}
+			col := int(math.Round((x - xmin) / (xmax - xmin) * float64(w-1)))
+			row := h - 1 - int(math.Round((y-ymin)/(ymax-ymin)*float64(h-1)))
+			if col >= 0 && col < w && row >= 0 && row < h {
+				grid[row][col] = m
+			}
+		}
+	}
+	yLo, yHi := formatTick(ymin), formatTick(ymax)
+	labelW := len(yLo)
+	if len(yHi) > labelW {
+		labelW = len(yHi)
+	}
+	for r := 0; r < h; r++ {
+		label := strings.Repeat(" ", labelW)
+		if r == 0 {
+			label = pad(yHi, labelW)
+		} else if r == h-1 {
+			label = pad(yLo, labelW)
+		}
+		sb.WriteString(label)
+		sb.WriteString(" |")
+		sb.Write(grid[r])
+		sb.WriteByte('\n')
+	}
+	sb.WriteString(strings.Repeat(" ", labelW))
+	sb.WriteString(" +")
+	sb.WriteString(strings.Repeat("-", w))
+	sb.WriteByte('\n')
+	xLo, xHi := formatTick(xmin), formatTick(xmax)
+	gap := w - len(xLo) - len(xHi)
+	if gap < 1 {
+		gap = 1
+	}
+	sb.WriteString(strings.Repeat(" ", labelW+2))
+	sb.WriteString(xLo)
+	sb.WriteString(strings.Repeat(" ", gap))
+	sb.WriteString(xHi)
+	sb.WriteByte('\n')
+	if c.XLabel != "" || c.YLabel != "" {
+		fmt.Fprintf(&sb, "%s x: %s, y: %s\n", strings.Repeat(" ", labelW), c.XLabel, c.YLabel)
+	}
+	for si, s := range c.Series {
+		fmt.Fprintf(&sb, "%s  %c %s\n", strings.Repeat(" ", labelW), markers[si%len(markers)], s.Name)
+	}
+	return sb.String()
+}
+
+// BarChart draws labeled horizontal bars.
+type BarChart struct {
+	Title string
+	// Unit is appended to the printed values, e.g. "%" or "h".
+	Unit   string
+	Labels []string
+	Values []float64
+	// Width is the maximum bar length in cells; zero selects 48.
+	Width int
+}
+
+// Render draws the chart.
+func (b *BarChart) Render() string {
+	var sb strings.Builder
+	if b.Title != "" {
+		sb.WriteString(b.Title)
+		sb.WriteByte('\n')
+	}
+	n := len(b.Labels)
+	if len(b.Values) < n {
+		n = len(b.Values)
+	}
+	if n == 0 {
+		sb.WriteString("(no data)\n")
+		return sb.String()
+	}
+	width := b.Width
+	if width <= 0 {
+		width = 48
+	}
+	maxVal := 0.0
+	labelW := 0
+	for i := 0; i < n; i++ {
+		if b.Values[i] > maxVal {
+			maxVal = b.Values[i]
+		}
+		if len(b.Labels[i]) > labelW {
+			labelW = len(b.Labels[i])
+		}
+	}
+	if maxVal <= 0 {
+		maxVal = 1
+	}
+	for i := 0; i < n; i++ {
+		v := b.Values[i]
+		cells := int(math.Round(v / maxVal * float64(width)))
+		if cells < 0 {
+			cells = 0
+		}
+		fmt.Fprintf(&sb, "%s |%s %s%s\n",
+			pad(b.Labels[i], labelW),
+			strings.Repeat("=", cells),
+			formatTick(v), b.Unit)
+	}
+	return sb.String()
+}
+
+// formatTick renders an axis value compactly.
+func formatTick(v float64) string {
+	a := math.Abs(v)
+	switch {
+	case a >= 1e6, (a < 1e-3 && a > 0):
+		return fmt.Sprintf("%.2g", v)
+	case a >= 100:
+		return fmt.Sprintf("%.0f", v)
+	case a >= 1:
+		return fmt.Sprintf("%.1f", v)
+	default:
+		return fmt.Sprintf("%.2f", v)
+	}
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return strings.Repeat(" ", w-len(s)) + s
+}

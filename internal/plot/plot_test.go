@@ -1,0 +1,155 @@
+package plot
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestLineChartBasic(t *testing.T) {
+	c := &LineChart{
+		Title:  "test chart",
+		XLabel: "time",
+		YLabel: "value",
+		Series: []Series{
+			{Name: "up", X: []float64{0, 1, 2, 3}, Y: []float64{0, 1, 2, 3}},
+			{Name: "down", X: []float64{0, 1, 2, 3}, Y: []float64{3, 2, 1, 0}},
+		},
+	}
+	out := c.Render()
+	for _, frag := range []string{"test chart", "up", "down", "x: time, y: value", "*", "+"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("render missing %q:\n%s", frag, out)
+		}
+	}
+}
+
+func TestLineChartOrientation(t *testing.T) {
+	// A strictly increasing series must place its marker for the max X
+	// on the top row and the min X on the bottom row.
+	c := &LineChart{
+		Width: 20, Height: 5,
+		Series: []Series{{Name: "s", X: []float64{0, 10}, Y: []float64{0, 100}}},
+	}
+	lines := strings.Split(c.Render(), "\n")
+	top := lines[0]
+	if !strings.Contains(top, "*") {
+		t.Errorf("max value not on top row:\n%s", c.Render())
+	}
+	if !strings.HasSuffix(strings.TrimRight(top, " "), "*") {
+		t.Errorf("max value not at right edge:\n%s", c.Render())
+	}
+	bottomPlot := lines[4]
+	idx := strings.Index(bottomPlot, "*")
+	if idx < 0 {
+		t.Fatalf("min value missing from bottom row:\n%s", c.Render())
+	}
+}
+
+func TestLineChartAxisLabels(t *testing.T) {
+	c := &LineChart{
+		Width: 30, Height: 6,
+		Series: []Series{{Name: "s", X: []float64{5, 25}, Y: []float64{10, 90}}},
+	}
+	out := c.Render()
+	for _, frag := range []string{"5.0", "25.0", "10.0", "90.0"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("axis tick %q missing:\n%s", frag, out)
+		}
+	}
+}
+
+func TestLineChartEmpty(t *testing.T) {
+	c := &LineChart{Title: "empty"}
+	out := c.Render()
+	if !strings.Contains(out, "(no data)") {
+		t.Errorf("empty chart render = %q", out)
+	}
+}
+
+func TestLineChartSkipsNonFinite(t *testing.T) {
+	c := &LineChart{
+		Series: []Series{{
+			Name: "s",
+			X:    []float64{0, 1, 2},
+			Y:    []float64{1, math.NaN(), math.Inf(1)},
+		}},
+	}
+	out := c.Render()
+	if strings.Contains(out, "NaN") {
+		t.Errorf("non-finite values leaked: %s", out)
+	}
+}
+
+func TestLineChartConstantSeries(t *testing.T) {
+	c := &LineChart{
+		Series: []Series{{Name: "flat", X: []float64{0, 1, 2}, Y: []float64{5, 5, 5}}},
+	}
+	out := c.Render()
+	if !strings.Contains(out, "*") {
+		t.Errorf("constant series not drawn:\n%s", out)
+	}
+}
+
+func TestLineChartMismatchedLengths(t *testing.T) {
+	c := &LineChart{
+		Series: []Series{{Name: "s", X: []float64{0, 1, 2}, Y: []float64{1}}},
+	}
+	out := c.Render() // must not panic
+	if !strings.Contains(out, "*") {
+		t.Errorf("short series dropped entirely:\n%s", out)
+	}
+}
+
+func TestBarChartBasic(t *testing.T) {
+	b := &BarChart{
+		Title:  "utilization",
+		Unit:   "%",
+		Labels: []string{"hadar", "gavel"},
+		Values: []float64{99.2, 98.1},
+		Width:  20,
+	}
+	out := b.Render()
+	for _, frag := range []string{"utilization", "hadar", "gavel", "=", "99.2%"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("bar render missing %q:\n%s", frag, out)
+		}
+	}
+	// The larger value must have the longer bar.
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if strings.Count(lines[1], "=") < strings.Count(lines[2], "=") {
+		t.Errorf("bar lengths unordered:\n%s", out)
+	}
+}
+
+func TestBarChartEmptyAndZero(t *testing.T) {
+	if out := (&BarChart{}).Render(); !strings.Contains(out, "(no data)") {
+		t.Error("empty bar chart did not say (no data)")
+	}
+	out := (&BarChart{Labels: []string{"a"}, Values: []float64{0}}).Render()
+	if !strings.Contains(out, "a |") {
+		t.Errorf("zero-value bar malformed: %q", out)
+	}
+}
+
+func TestBarChartMismatchedLengths(t *testing.T) {
+	out := (&BarChart{Labels: []string{"a", "b"}, Values: []float64{1}}).Render()
+	if strings.Contains(out, "b") {
+		t.Errorf("unmatched label rendered: %q", out)
+	}
+}
+
+func TestFormatTick(t *testing.T) {
+	cases := map[float64]string{
+		0:       "0.00",
+		0.5:     "0.50",
+		3.25:    "3.2",
+		150:     "150",
+		2500000: "2.5e+06",
+	}
+	for v, want := range cases {
+		if got := formatTick(v); got != want {
+			t.Errorf("formatTick(%v) = %q, want %q", v, got, want)
+		}
+	}
+}

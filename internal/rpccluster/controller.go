@@ -1,0 +1,371 @@
+package rpccluster
+
+import (
+	"fmt"
+	"net/rpc"
+	"sort"
+	"time"
+
+	"repro/internal/checkpoint"
+	"repro/internal/ckptstore"
+	"repro/internal/cluster"
+	"repro/internal/gpu"
+	"repro/internal/job"
+	"repro/internal/metrics"
+	"repro/internal/psmodel"
+	"repro/internal/sched"
+)
+
+// NodeSpec describes one worker agent the controller drives.
+type NodeSpec struct {
+	Addr string
+	// GPU is the accelerator type of the node's devices (prototype
+	// machines are homogeneous per node, as on the paper's AWS fleet).
+	GPU gpu.Type
+	// Devices is the node's accelerator count.
+	Devices int
+	// Speed is the straggler factor (1.0 nominal).
+	Speed float64
+}
+
+// Options configures the controller.
+type Options struct {
+	// RoundLength is the scheduling interval in simulated seconds.
+	RoundLength float64
+	// TimeScale is simulated seconds per wall-clock second. Workers must
+	// be created with the same value.
+	TimeScale float64
+	// UseModelCosts selects Table IV checkpoint costs; otherwise the
+	// flat 10 s delay applies to every (re)allocation.
+	UseModelCosts bool
+	// Store, when non-nil, persists checkpoints through a
+	// bandwidth-modeled storage device: restart delays then come from
+	// actual blob sizes (the model's parameter bytes) and device
+	// queueing instead of the fixed cost table.
+	Store *ckptstore.Store
+	// MaxRounds bounds the run.
+	MaxRounds int
+}
+
+// DefaultOptions replays at 3600x: a 6-minute round every 100 ms.
+func DefaultOptions() Options {
+	return Options{
+		RoundLength: checkpoint.RoundSeconds,
+		TimeScale:   3600,
+		MaxRounds:   100000,
+	}
+}
+
+// Controller drives a set of live worker agents with a scheduling
+// policy, mirroring the paper's prototype scheduler process.
+type Controller struct {
+	opts    Options
+	nodes   []NodeSpec
+	clients []*rpc.Client
+	clus    *cluster.Cluster
+	sched   sched.Scheduler
+}
+
+// NewController connects to every worker agent. The cluster model used
+// for scheduling decisions is derived from the node specs.
+func NewController(s sched.Scheduler, nodes []NodeSpec, opts Options) (*Controller, error) {
+	if opts.RoundLength <= 0 || opts.TimeScale <= 0 {
+		return nil, fmt.Errorf("rpccluster: invalid options %+v", opts)
+	}
+	if opts.MaxRounds == 0 {
+		opts.MaxRounds = DefaultOptions().MaxRounds
+	}
+	fleets := make([]gpu.Fleet, len(nodes))
+	for i, n := range nodes {
+		if n.Devices <= 0 {
+			return nil, fmt.Errorf("rpccluster: node %d has no devices", i)
+		}
+		fleets[i] = gpu.Fleet{n.GPU: n.Devices}
+	}
+	clus := cluster.New(fleets...)
+	for i, n := range nodes {
+		if n.Speed > 0 {
+			clus.SetSpeed(i, n.Speed)
+		}
+	}
+	c := &Controller{opts: opts, nodes: nodes, clus: clus, sched: s}
+	for _, n := range nodes {
+		client, err := rpc.Dial("tcp", n.Addr)
+		if err != nil {
+			c.Close()
+			return nil, fmt.Errorf("rpccluster: dial %s: %w", n.Addr, err)
+		}
+		c.clients = append(c.clients, client)
+	}
+	return c, nil
+}
+
+// Close disconnects from the workers.
+func (c *Controller) Close() {
+	for _, cl := range c.clients {
+		if cl != nil {
+			cl.Close()
+		}
+	}
+}
+
+func (c *Controller) call(node int, method string, args, reply interface{}) error {
+	return c.clients[node].Call(fmt.Sprintf("Worker%d.%s", node, method), args, reply)
+}
+
+// Run schedules the jobs on the live workers until all complete,
+// returning the same metrics report the simulator produces. Job arrival
+// times are interpreted in simulated seconds from the start of the run.
+func (c *Controller) Run(jobs []*job.Job) (*metrics.Report, error) {
+	states := make([]*sched.JobState, len(jobs))
+	order := append([]*job.Job(nil), jobs...)
+	sort.Slice(order, func(a, b int) bool {
+		if order[a].Arrival != order[b].Arrival {
+			return order[a].Arrival < order[b].Arrival
+		}
+		return order[a].ID < order[b].ID
+	})
+	for i, j := range order {
+		if err := j.Validate(); err != nil {
+			return nil, fmt.Errorf("rpccluster: %w", err)
+		}
+		states[i] = &sched.JobState{
+			Job: j, Remaining: j.TotalIters(),
+			RoundsByType: make(map[gpu.Type]float64),
+		}
+	}
+	report := &metrics.Report{Scheduler: c.sched.Name() + "+rpc", TotalGPUs: c.clus.TotalGPUs()}
+	leads := map[int]int{} // job ID -> lead node
+	start := time.Now()
+	simNow := func() float64 { return time.Since(start).Seconds() * c.opts.TimeScale }
+
+	next := 0
+	var active []*sched.JobState
+	for round := 0; round < c.opts.MaxRounds; round++ {
+		roundStart := simNow()
+		for next < len(states) && states[next].Job.Arrival <= roundStart {
+			active = append(active, states[next])
+			next++
+		}
+
+		// Poll progress and collect completions.
+		var still []*sched.JobState
+		for _, st := range active {
+			lead, running := leads[st.Job.ID]
+			if !running {
+				still = append(still, st)
+				continue
+			}
+			var prog ProgressReply
+			if err := c.call(lead, "Progress", ProgressArgs{JobID: st.Job.ID}, &prog); err != nil {
+				return nil, fmt.Errorf("rpccluster: progress job %d: %w", st.Job.ID, err)
+			}
+			st.Remaining = st.Job.TotalIters() - prog.Iter
+			if prog.Done {
+				// Busy time approximated from the job's aggregate work at
+				// its best rate (exact per-round rates live on workers).
+				if _, best, ok := st.Job.BestType(); ok && best > 0 {
+					report.BusyGPUSeconds += st.Job.TotalIters() / best
+				}
+				if err := c.releaseJob(st, prog.FinishSimTime); err != nil {
+					return nil, err
+				}
+				if c.opts.Store != nil {
+					c.opts.Store.Delete(st.Job.ID)
+				}
+				delete(leads, st.Job.ID)
+				st.Alloc = nil
+				report.Jobs = append(report.Jobs, c.result(st, prog.FinishSimTime, len(jobs)))
+				if prog.FinishSimTime > report.Makespan {
+					report.Makespan = prog.FinishSimTime
+				}
+				continue
+			}
+			still = append(still, st)
+		}
+		active = still
+		if len(active) == 0 && next >= len(states) {
+			break
+		}
+
+		// Scheduling decision on live state.
+		ctx := &sched.Context{
+			Now: roundStart, Round: round, RoundLength: c.opts.RoundLength,
+			Horizon: roundStart + horizonEstimate(active),
+			Cluster: c.clus, Jobs: append([]*sched.JobState(nil), active...),
+		}
+		t0 := time.Now()
+		decisions := c.sched.Schedule(ctx)
+		report.DecisionTime += time.Since(t0)
+		report.Decisions++
+		report.Rounds++
+
+		// Apply in two phases so a job's new placement never races the
+		// devices another job is about to release: first preempt every
+		// changed job, then launch the new placements.
+		type change struct {
+			st         *sched.JobState
+			wasRunning bool
+		}
+		var changes []change
+		for _, st := range active {
+			newAlloc := decisions[st.Job.ID].Canonical()
+			if newAlloc.Equal(st.Alloc) {
+				if w := newAlloc.Workers(); w > 0 {
+					report.JobRoundAllocs++
+					report.HeldGPUSeconds += float64(w) * c.opts.RoundLength
+				}
+				continue
+			}
+			if err := sched.Validate(st.Job, newAlloc); err != nil {
+				return nil, fmt.Errorf("rpccluster: %w", err)
+			}
+			wasRunning := st.Alloc.Workers() > 0
+			if wasRunning {
+				if err := c.releaseJob(st, roundStart); err != nil {
+					return nil, err
+				}
+				delete(leads, st.Job.ID)
+			}
+			st.Alloc = newAlloc
+			changes = append(changes, change{st: st, wasRunning: wasRunning})
+		}
+		for _, ch := range changes {
+			st := ch.st
+			w := st.Alloc.Workers()
+			if w == 0 {
+				continue
+			}
+			if ch.wasRunning {
+				report.JobRoundReallocs++
+				st.Reallocations++
+			}
+			if !st.Started {
+				st.Started = true
+				st.StartTime = roundStart
+			}
+			report.JobRoundAllocs++
+			report.HeldGPUSeconds += float64(w) * c.opts.RoundLength
+			if err := c.launchJob(st, leads, roundStart); err != nil {
+				return nil, err
+			}
+			st.Rounds++
+			for _, typ := range st.Alloc.Types() {
+				st.RoundsByType[typ]++
+			}
+		}
+
+		// Sleep until the next round boundary on the scaled clock.
+		roundReal := time.Duration(c.opts.RoundLength / c.opts.TimeScale * float64(time.Second))
+		target := time.Duration(round+1) * roundReal
+		if rem := target - time.Since(start); rem > 0 {
+			time.Sleep(rem)
+		}
+	}
+	if len(active) > 0 || next < len(states) {
+		return nil, fmt.Errorf("rpccluster: %d jobs unfinished after %d rounds", len(active)+len(states)-next, c.opts.MaxRounds)
+	}
+	report.SortJobsByID()
+	return report, nil
+}
+
+// releaseJob preempts a job on every node it occupies and, when a
+// checkpoint store is configured, persists the checkpointed progress.
+func (c *Controller) releaseJob(st *sched.JobState, nowSim float64) error {
+	checkpointIter := -1.0
+	for _, p := range st.Alloc.Canonical() {
+		var rep PreemptReply
+		if err := c.call(p.Node, "Preempt", PreemptArgs{JobID: st.Job.ID}, &rep); err != nil {
+			return fmt.Errorf("rpccluster: preempt job %d on node %d: %w", st.Job.ID, p.Node, err)
+		}
+		if rep.Done || rep.Iter > 0 {
+			if done := st.Job.TotalIters() - rep.Iter; done < st.Remaining {
+				st.Remaining = done
+			}
+			if rep.Iter > checkpointIter {
+				checkpointIter = rep.Iter
+			}
+		}
+	}
+	if c.opts.Store != nil && checkpointIter >= 0 {
+		_, err := c.opts.Store.Save(nowSim, ckptstore.Checkpoint{
+			JobID: st.Job.ID, Iter: checkpointIter,
+			SizeBytes: modelBytes(st.Job.Model),
+		})
+		if err != nil {
+			return fmt.Errorf("rpccluster: %w", err)
+		}
+	}
+	return nil
+}
+
+// modelBytes returns the serialized parameter size for checkpoint
+// transfers, from the PS training model; unknown models assume 100 MB.
+func modelBytes(model string) float64 {
+	if m, ok := psmodel.ModelByName(model); ok {
+		return m.ParamBytes
+	}
+	return 100e6
+}
+
+// launchJob starts the gang across its placements; the first placement
+// is the lead tracking progress.
+func (c *Controller) launchJob(st *sched.JobState, leads map[int]int, nowSim float64) error {
+	placements := st.Alloc.Canonical()
+	rate := sched.Rate(st.Job, c.clus, st.Alloc)
+	delay := checkpoint.DefaultDelay
+	if c.opts.UseModelCosts {
+		delay = checkpoint.Delay(st.Job.Model, true)
+	}
+	if c.opts.Store != nil {
+		// The restore delay is the real read time of the checkpoint blob
+		// through the (possibly queued) storage device.
+		if _, doneAt, ok := c.opts.Store.Load(nowSim, st.Job.ID); ok {
+			delay = doneAt - nowSim
+		} else {
+			delay = 0 // fresh start: nothing to restore
+		}
+	}
+	for i, p := range placements {
+		args := LaunchArgs{
+			JobID:           st.Job.ID,
+			Lead:            i == 0,
+			Devices:         p.Count,
+			RateIterPerSec:  rate,
+			StartIter:       st.Job.TotalIters() - st.Remaining,
+			TargetIters:     st.Job.TotalIters(),
+			DelaySimSeconds: delay,
+		}
+		var rep LaunchReply
+		if err := c.call(p.Node, "Launch", args, &rep); err != nil {
+			return fmt.Errorf("rpccluster: launch job %d on node %d: %w", st.Job.ID, p.Node, err)
+		}
+		if i == 0 {
+			leads[st.Job.ID] = p.Node
+		}
+	}
+	return nil
+}
+
+func (c *Controller) result(st *sched.JobState, finish float64, n int) metrics.JobResult {
+	_, best, _ := st.Job.BestType()
+	return metrics.JobResult{
+		ID: st.Job.ID, Model: st.Job.Model, Workers: st.Job.Workers,
+		Arrival: st.Job.Arrival, Start: st.StartTime, Finish: finish,
+		TotalIters: st.Job.TotalIters(),
+		IsolatedDuration: metrics.IsolatedDuration(
+			st.Job.TotalIters(), st.Job.Workers, best, n, c.clus.TotalGPUs()),
+		Reallocations: st.Reallocations,
+	}
+}
+
+func horizonEstimate(active []*sched.JobState) float64 {
+	h := 3600.0
+	for _, st := range active {
+		d := st.Job.MaxDuration()
+		if d < 1e12 {
+			h += d
+		}
+	}
+	return h
+}

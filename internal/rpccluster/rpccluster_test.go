@@ -1,0 +1,268 @@
+package rpccluster
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/ckptstore"
+	"repro/internal/core"
+	"repro/internal/gpu"
+	"repro/internal/job"
+	"repro/internal/trace"
+)
+
+// startWorkers launches n single-node agents on loopback and returns
+// their specs plus a cleanup function.
+func startWorkers(t *testing.T, types []gpu.Type, devices int, timeScale float64) ([]NodeSpec, func()) {
+	t.Helper()
+	var handles []*Handle
+	var specs []NodeSpec
+	for i, typ := range types {
+		w := NewWorker(i, devices, timeScale)
+		h, err := Serve("127.0.0.1:0", w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		handles = append(handles, h)
+		specs = append(specs, NodeSpec{Addr: h.Addr, GPU: typ, Devices: devices, Speed: 1})
+	}
+	return specs, func() {
+		for _, h := range handles {
+			h.Close()
+		}
+	}
+}
+
+func TestWorkerLaunchProgressPreempt(t *testing.T) {
+	w := NewWorker(0, 2, 1000) // 1000 sim-seconds per real second
+	h, err := Serve("127.0.0.1:0", w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Close()
+
+	var lr LaunchReply
+	err = w.Launch(LaunchArgs{
+		JobID: 1, Lead: true, Devices: 2,
+		RateIterPerSec: 10, StartIter: 0, TargetIters: 1e9,
+	}, &lr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lr.FreeDevices != 0 {
+		t.Errorf("free after launch = %d, want 0", lr.FreeDevices)
+	}
+	time.Sleep(50 * time.Millisecond) // 50 sim-seconds
+	var pr ProgressReply
+	if err := w.Progress(ProgressArgs{JobID: 1}, &pr); err != nil {
+		t.Fatal(err)
+	}
+	if pr.Iter <= 0 || pr.Done {
+		t.Errorf("progress = %+v, want positive and not done", pr)
+	}
+	var prr PreemptReply
+	if err := w.Preempt(PreemptArgs{JobID: 1}, &prr); err != nil {
+		t.Fatal(err)
+	}
+	if prr.Iter < pr.Iter {
+		t.Errorf("checkpoint %v went backwards from %v", prr.Iter, pr.Iter)
+	}
+	var st StatusReply
+	if err := w.Status(StatusArgs{}, &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.FreeDevices != 2 || len(st.Jobs) != 0 {
+		t.Errorf("worker not drained: %+v", st)
+	}
+}
+
+func TestWorkerCompletionTimeExact(t *testing.T) {
+	w := NewWorker(0, 1, 1000)
+	err := w.Launch(LaunchArgs{
+		JobID: 1, Lead: true, Devices: 1,
+		RateIterPerSec: 100, TargetIters: 1000, DelaySimSeconds: 5,
+	}, &LaunchReply{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Needs 5s delay + 10s work = 15 sim-seconds = 15 ms real.
+	time.Sleep(40 * time.Millisecond)
+	var pr ProgressReply
+	if err := w.Progress(ProgressArgs{JobID: 1}, &pr); err != nil {
+		t.Fatal(err)
+	}
+	if !pr.Done {
+		t.Fatalf("job not done: %+v", pr)
+	}
+	// Finish = launch sim time (~0) + 15.
+	if math.Abs(pr.FinishSimTime-15) > 5 {
+		t.Errorf("finish sim time = %v, want ~15", pr.FinishSimTime)
+	}
+}
+
+func TestWorkerRejectsOverCapacity(t *testing.T) {
+	w := NewWorker(0, 1, 1000)
+	if err := w.Launch(LaunchArgs{JobID: 1, Lead: true, Devices: 2,
+		RateIterPerSec: 1, TargetIters: 10}, &LaunchReply{}); err == nil {
+		t.Error("over-capacity launch accepted")
+	}
+	if err := w.Launch(LaunchArgs{JobID: 1, Lead: true, Devices: 1,
+		RateIterPerSec: 1, TargetIters: 10}, &LaunchReply{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Launch(LaunchArgs{JobID: 1, Lead: true, Devices: 1,
+		RateIterPerSec: 1, TargetIters: 10}, &LaunchReply{}); err == nil {
+		t.Error("duplicate job launch accepted")
+	}
+}
+
+func TestWorkerErrorsOnUnknownJob(t *testing.T) {
+	w := NewWorker(0, 1, 1000)
+	if err := w.Progress(ProgressArgs{JobID: 9}, &ProgressReply{}); err == nil {
+		t.Error("progress of unknown job succeeded")
+	}
+	if err := w.Preempt(PreemptArgs{JobID: 9}, &PreemptReply{}); err == nil {
+		t.Error("preempt of unknown job succeeded")
+	}
+}
+
+func TestWorkerProgressNonLeadRejected(t *testing.T) {
+	w := NewWorker(0, 2, 1000)
+	if err := w.Launch(LaunchArgs{JobID: 1, Devices: 1}, &LaunchReply{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Progress(ProgressArgs{JobID: 1}, &ProgressReply{}); err == nil {
+		t.Error("progress from non-lead succeeded")
+	}
+}
+
+func TestNewWorkerPanicsOnBadConfig(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewWorker(0 devices) did not panic")
+		}
+	}()
+	NewWorker(0, 0, 1000)
+}
+
+// TestLiveClusterEndToEnd runs the paper's prototype architecture for
+// real: worker agents over TCP, the Hadar scheduler as controller, a
+// heterogeneous mini-cluster, and a mixed workload replayed at high time
+// scale. It validates completion, metric sanity, and that the
+// controller's view stayed consistent with the workers'.
+func TestLiveClusterEndToEnd(t *testing.T) {
+	const timeScale = 72000 // 1 real second = 20 simulated hours
+	specs, cleanup := startWorkers(t,
+		[]gpu.Type{gpu.V100, gpu.P100, gpu.K80}, 2, timeScale)
+	defer cleanup()
+
+	opts := DefaultOptions()
+	opts.TimeScale = timeScale
+	ctl, err := NewController(core.New(core.DefaultOptions()), specs, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ctl.Close()
+
+	var jobs []*job.Job
+	catalog := trace.Catalog()
+	for i := 0; i < 6; i++ {
+		spec := catalog[i%len(catalog)]
+		j, err := trace.FromDemand(i, spec, 1+i%2, 0.5+float64(i)*0.3, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		jobs = append(jobs, j)
+	}
+	report, err := ctl.Run(jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Jobs) != len(jobs) {
+		t.Fatalf("completed %d of %d jobs", len(report.Jobs), len(jobs))
+	}
+	if report.Makespan <= 0 {
+		t.Error("zero makespan")
+	}
+	for _, jr := range report.Jobs {
+		if jr.Finish < jr.Start || jr.Start < jr.Arrival {
+			t.Errorf("job %d has inconsistent timeline: %+v", jr.ID, jr)
+		}
+	}
+	if !strings.Contains(report.Scheduler, "rpc") {
+		t.Errorf("scheduler name = %q, want rpc suffix", report.Scheduler)
+	}
+	// All workers drained.
+	for i := range specs {
+		var st StatusReply
+		if err := ctl.call(i, "Status", StatusArgs{}, &st); err != nil {
+			t.Fatal(err)
+		}
+		if len(st.Jobs) != 0 || st.FreeDevices != st.Capacity {
+			t.Errorf("worker %d not drained: %+v", i, st)
+		}
+	}
+}
+
+func TestControllerRejectsBadOptions(t *testing.T) {
+	specs := []NodeSpec{{Addr: "127.0.0.1:1", GPU: gpu.V100, Devices: 1}}
+	if _, err := NewController(core.New(core.DefaultOptions()), specs, Options{}); err == nil {
+		t.Error("zero options accepted")
+	}
+	bad := []NodeSpec{{Addr: "127.0.0.1:1", GPU: gpu.V100, Devices: 0}}
+	if _, err := NewController(core.New(core.DefaultOptions()), bad, DefaultOptions()); err == nil {
+		t.Error("zero-device node accepted")
+	}
+}
+
+func TestControllerDialFailure(t *testing.T) {
+	specs := []NodeSpec{{Addr: "127.0.0.1:1", GPU: gpu.V100, Devices: 1}}
+	if _, err := NewController(core.New(core.DefaultOptions()), specs, DefaultOptions()); err == nil {
+		t.Error("dial to dead address succeeded")
+	}
+}
+
+// TestLiveClusterWithCheckpointStore drives the control plane with the
+// bandwidth-modeled checkpoint store: restart delays come from real
+// blob sizes, and finished jobs' checkpoints are garbage-collected.
+func TestLiveClusterWithCheckpointStore(t *testing.T) {
+	const timeScale = 72000
+	specs, cleanup := startWorkers(t,
+		[]gpu.Type{gpu.V100, gpu.P100}, 2, timeScale)
+	defer cleanup()
+
+	opts := DefaultOptions()
+	opts.TimeScale = timeScale
+	store := ckptstore.New(0)
+	opts.Store = store
+	ctl, err := NewController(core.New(core.DefaultOptions()), specs, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ctl.Close()
+
+	var jobs []*job.Job
+	for i, spec := range trace.Catalog()[:4] {
+		j, err := trace.FromDemand(i, spec, 1+i%2, 0.5+0.5*float64(i), 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		jobs = append(jobs, j)
+	}
+	report, err := ctl.Run(jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Jobs) != len(jobs) {
+		t.Fatalf("completed %d of %d jobs", len(report.Jobs), len(jobs))
+	}
+	saves, _, blobs := store.Stats()
+	if report.JobRoundReallocs > 0 && saves == 0 {
+		t.Error("reallocations happened but no checkpoints were saved")
+	}
+	if blobs != 0 {
+		t.Errorf("%d checkpoints leaked after completion", blobs)
+	}
+}

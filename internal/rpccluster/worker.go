@@ -1,0 +1,264 @@
+// Package rpccluster is the prototype control plane of the paper's
+// physical-cluster experiment (Section IV.B): a scheduler process that
+// exchanges control messages with worker agents over RPC to launch,
+// preempt, checkpoint, and restart training tasks.
+//
+// The paper uses gRPC between the scheduler and GPU servers on AWS; this
+// reproduction substitutes the Go standard library's net/rpc over TCP —
+// the same request/response control messages (launch with a checkpoint
+// iteration, preempt returning the checkpoint, progress polling) with an
+// equivalent failure surface. Workers "train" in scaled real time: one
+// wall-clock second represents TimeScale simulated seconds, so the
+// 17-hour Table III workload replays in seconds while still exercising
+// live preemption across processes.
+package rpccluster
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"net/rpc"
+	"sync"
+	"time"
+)
+
+// LaunchArgs asks a worker to host (part of) a job's gang.
+type LaunchArgs struct {
+	JobID int
+	// Lead marks the worker that tracks the job's global progress (the
+	// first placement of the gang). Non-lead workers only reserve
+	// devices.
+	Lead bool
+	// Devices is how many local accelerators the job occupies here.
+	Devices int
+	// RateIterPerSec is the gang's aggregate progress rate (bottleneck
+	// throughput x gang size), in simulated iterations per simulated
+	// second. Only meaningful on the lead.
+	RateIterPerSec float64
+	// StartIter is the checkpoint to resume from.
+	StartIter float64
+	// TargetIters is the job's total work E_j x N_j.
+	TargetIters float64
+	// DelaySimSeconds is the checkpoint-restore stall before progress
+	// resumes, in simulated seconds.
+	DelaySimSeconds float64
+}
+
+// LaunchReply acknowledges a launch.
+type LaunchReply struct {
+	// FreeDevices is the worker's remaining free device count.
+	FreeDevices int
+}
+
+// PreemptArgs stops a job on this worker.
+type PreemptArgs struct {
+	JobID int
+}
+
+// PreemptReply carries the checkpointed progress (valid from the lead).
+type PreemptReply struct {
+	Iter float64
+	Done bool
+	// FinishSimTime is the exact simulated time of completion relative
+	// to the worker's epoch, valid when Done.
+	FinishSimTime float64
+}
+
+// ProgressArgs polls a job's progress.
+type ProgressArgs struct {
+	JobID int
+}
+
+// ProgressReply reports training progress from the lead worker.
+type ProgressReply struct {
+	Iter          float64
+	Done          bool
+	FinishSimTime float64
+}
+
+// StatusArgs requests worker-level state.
+type StatusArgs struct{}
+
+// StatusReply summarizes a worker.
+type StatusReply struct {
+	NodeID      int
+	Capacity    int
+	FreeDevices int
+	Jobs        []int
+}
+
+type task struct {
+	devices    int
+	lead       bool
+	rate       float64
+	startIter  float64
+	target     float64
+	delay      float64 // simulated seconds
+	launchedAt time.Time
+}
+
+// Worker is the agent process running on one machine. It exposes the
+// RPC surface the controller drives. One Worker instance serves one
+// listener; all methods are safe for concurrent use.
+type Worker struct {
+	nodeID    int
+	capacity  int
+	timeScale float64
+	epoch     time.Time
+
+	mu    sync.Mutex
+	tasks map[int]*task
+	free  int
+}
+
+// NewWorker creates an agent with the given device count. timeScale is
+// how many simulated seconds pass per wall-clock second.
+func NewWorker(nodeID, capacity int, timeScale float64) *Worker {
+	if capacity <= 0 || timeScale <= 0 {
+		panic(fmt.Sprintf("rpccluster: invalid worker config (capacity=%d, timeScale=%v)", capacity, timeScale))
+	}
+	return &Worker{
+		nodeID:    nodeID,
+		capacity:  capacity,
+		timeScale: timeScale,
+		epoch:     time.Now(),
+		tasks:     make(map[int]*task),
+		free:      capacity,
+	}
+}
+
+// simNow returns the worker's current simulated time.
+func (w *Worker) simNow() float64 { return time.Since(w.epoch).Seconds() * w.timeScale }
+
+// progressLocked computes a task's current iteration and, if finished,
+// the exact simulated finish time.
+func (w *Worker) progressLocked(t *task) (iter float64, done bool, finish float64) {
+	elapsed := time.Since(t.launchedAt).Seconds()*w.timeScale - t.delay
+	if elapsed < 0 {
+		elapsed = 0
+	}
+	iter = t.startIter + t.rate*elapsed
+	if iter >= t.target {
+		launchSim := t.launchedAt.Sub(w.epoch).Seconds() * w.timeScale
+		finish = launchSim + t.delay + (t.target-t.startIter)/t.rate
+		return t.target, true, finish
+	}
+	return iter, false, 0
+}
+
+// Launch implements the RPC method: reserve devices and, on the lead,
+// begin advancing the job from its checkpoint after the restore delay.
+func (w *Worker) Launch(args LaunchArgs, reply *LaunchReply) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if _, exists := w.tasks[args.JobID]; exists {
+		return fmt.Errorf("rpccluster: node %d already hosts job %d", w.nodeID, args.JobID)
+	}
+	if args.Devices <= 0 || args.Devices > w.free {
+		return fmt.Errorf("rpccluster: node %d has %d free devices, launch wants %d", w.nodeID, w.free, args.Devices)
+	}
+	if args.Lead && (args.RateIterPerSec <= 0 || args.TargetIters <= 0) {
+		return errors.New("rpccluster: lead launch requires positive rate and target")
+	}
+	w.tasks[args.JobID] = &task{
+		devices:    args.Devices,
+		lead:       args.Lead,
+		rate:       args.RateIterPerSec,
+		startIter:  args.StartIter,
+		target:     args.TargetIters,
+		delay:      args.DelaySimSeconds,
+		launchedAt: time.Now(),
+	}
+	w.free -= args.Devices
+	reply.FreeDevices = w.free
+	return nil
+}
+
+// Preempt implements the RPC method: stop the job, release its devices,
+// and return the checkpointed iteration (from the lead).
+func (w *Worker) Preempt(args PreemptArgs, reply *PreemptReply) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	t, ok := w.tasks[args.JobID]
+	if !ok {
+		return fmt.Errorf("rpccluster: node %d does not host job %d", w.nodeID, args.JobID)
+	}
+	if t.lead {
+		reply.Iter, reply.Done, reply.FinishSimTime = w.progressLocked(t)
+	}
+	delete(w.tasks, args.JobID)
+	w.free += t.devices
+	return nil
+}
+
+// Progress implements the RPC method: poll the lead's view of a job.
+func (w *Worker) Progress(args ProgressArgs, reply *ProgressReply) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	t, ok := w.tasks[args.JobID]
+	if !ok {
+		return fmt.Errorf("rpccluster: node %d does not host job %d", w.nodeID, args.JobID)
+	}
+	if !t.lead {
+		return fmt.Errorf("rpccluster: job %d is not led by node %d", args.JobID, w.nodeID)
+	}
+	reply.Iter, reply.Done, reply.FinishSimTime = w.progressLocked(t)
+	return nil
+}
+
+// Status implements the RPC method.
+func (w *Worker) Status(_ StatusArgs, reply *StatusReply) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	reply.NodeID = w.nodeID
+	reply.Capacity = w.capacity
+	reply.FreeDevices = w.free
+	for id := range w.tasks {
+		reply.Jobs = append(reply.Jobs, id)
+	}
+	return nil
+}
+
+// Handle is a running worker agent bound to a TCP listener.
+type Handle struct {
+	Worker *Worker
+	Addr   string
+
+	ln   net.Listener
+	done chan struct{}
+}
+
+// Serve starts a worker agent on addr ("127.0.0.1:0" picks a free
+// port) and serves RPCs until Close.
+func Serve(addr string, w *Worker) (*Handle, error) {
+	srv := rpc.NewServer()
+	// Register under a per-node name so multiple workers can share a
+	// process in tests.
+	name := fmt.Sprintf("Worker%d", w.nodeID)
+	if err := srv.RegisterName(name, w); err != nil {
+		return nil, fmt.Errorf("rpccluster: %w", err)
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("rpccluster: %w", err)
+	}
+	h := &Handle{Worker: w, Addr: ln.Addr().String(), ln: ln, done: make(chan struct{})}
+	go func() {
+		defer close(h.done)
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return // listener closed
+			}
+			go srv.ServeConn(conn)
+		}
+	}()
+	return h, nil
+}
+
+// Close stops accepting connections.
+func (h *Handle) Close() error {
+	err := h.ln.Close()
+	<-h.done
+	return err
+}

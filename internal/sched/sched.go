@@ -1,0 +1,204 @@
+// Package sched defines the contract between the round-based cluster
+// simulator and the scheduling policies (Hadar and the baselines): the
+// per-job scheduling state, the per-round context, the Scheduler
+// interface, and shared placement helpers.
+package sched
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/cluster"
+	"repro/internal/gpu"
+	"repro/internal/job"
+)
+
+// JobState is the simulator-maintained mutable state of one job.
+// Schedulers read it to make decisions; only the simulator writes it.
+type JobState struct {
+	// Job is the immutable description.
+	Job *job.Job
+	// Remaining is the number of training iterations left.
+	Remaining float64
+	// Alloc is the allocation the job held during the previous round
+	// (nil if it was not running). Schedulers use it for stickiness and
+	// non-preemptive policies; the simulator uses it to detect
+	// reallocation (checkpoint-restart cost).
+	Alloc cluster.Alloc
+	// Attained is the accumulated GPU-seconds of service (Tiresias'
+	// attained-service metric).
+	Attained float64
+	// Rounds is the number of rounds in which the job held any
+	// allocation.
+	Rounds int
+	// RoundsByType counts rounds per accelerator type (Gavel's priority
+	// denominator). A mixed-type round increments every type used.
+	RoundsByType map[gpu.Type]float64
+	// Started reports whether the job has ever been allocated;
+	// StartTime is the time of its first allocation.
+	Started   bool
+	StartTime float64
+	// Reallocations counts rounds in which the job kept running but its
+	// allocation changed (checkpoint-restart events).
+	Reallocations int
+}
+
+// Done reports whether the job has completed all its iterations.
+func (s *JobState) Done() bool { return s.Remaining <= 1e-9 }
+
+// Running reports whether the job held an allocation last round.
+func (s *JobState) Running() bool { return s.Alloc.Workers() > 0 }
+
+// Context is the information a scheduler receives at each round
+// boundary.
+type Context struct {
+	// Now is the current simulation time in seconds.
+	Now float64
+	// Round is the 0-based round index.
+	Round int
+	// RoundLength is the scheduling interval in seconds.
+	RoundLength float64
+	// Horizon is the estimated end of the scheduling window T used by
+	// Hadar's price bounds; the simulator grows it as needed.
+	Horizon float64
+	// Cluster describes the machines.
+	Cluster *cluster.Cluster
+	// Jobs lists every arrived, unfinished job in arrival order.
+	Jobs []*JobState
+}
+
+// Scheduler is a round-based scheduling policy. Schedule returns the
+// desired allocation for the next round keyed by job ID; omitted jobs
+// (or zero-worker allocations) are paused. Each returned allocation must
+// respect gang scheduling (exactly Job.Workers workers) and, jointly,
+// the cluster capacity; the simulator validates both.
+type Scheduler interface {
+	Name() string
+	Schedule(ctx *Context) map[int]cluster.Alloc
+}
+
+// Rate returns the job's progress rate (iterations/second) under the
+// given allocation: the bottleneck per-worker throughput across the
+// allocation's device types and node speeds, multiplied by the worker
+// count (constraints 1a/1b of the paper, extended with straggler
+// factors).
+func Rate(j *job.Job, c *cluster.Cluster, a cluster.Alloc) float64 {
+	w := a.Workers()
+	if w == 0 {
+		return 0
+	}
+	slowest := math.Inf(1)
+	for _, p := range a {
+		if p.Count == 0 {
+			continue
+		}
+		x := j.Speed(p.Type) * c.Speed(p.Node)
+		if x < slowest {
+			slowest = x
+		}
+	}
+	if math.IsInf(slowest, 1) {
+		return 0
+	}
+	return slowest * float64(w)
+}
+
+// Validate checks one job's allocation against the gang constraint and
+// usable-type requirement. Capacity is checked jointly by the simulator.
+func Validate(j *job.Job, a cluster.Alloc) error {
+	w := a.Workers()
+	if w == 0 {
+		return nil
+	}
+	if w != j.Workers {
+		return fmt.Errorf("sched: job %d allocated %d workers, gang requires %d", j.ID, w, j.Workers)
+	}
+	for _, p := range a {
+		if p.Count > 0 && j.Speed(p.Type) <= 0 {
+			return fmt.Errorf("sched: job %d allocated unusable type %v", j.ID, p.Type)
+		}
+	}
+	return nil
+}
+
+// PlaceSingleType places w workers of type t, consolidating onto as few
+// nodes as possible (nodes with more free devices of t first; ties by
+// lower node ID). It reports ok=false without mutating state if the
+// cluster-wide free count of t is insufficient.
+func PlaceSingleType(st *cluster.State, t gpu.Type, w int) (cluster.Alloc, bool) {
+	if st.FreeOfType(t) < w {
+		return nil, false
+	}
+	type nodeFree struct{ id, free int }
+	nodes := make([]nodeFree, 0, st.Cluster().NumNodes())
+	for id := 0; id < st.Cluster().NumNodes(); id++ {
+		if f := st.Free(id, t); f > 0 {
+			nodes = append(nodes, nodeFree{id, f})
+		}
+	}
+	sort.Slice(nodes, func(i, j int) bool {
+		if nodes[i].free != nodes[j].free {
+			return nodes[i].free > nodes[j].free
+		}
+		return nodes[i].id < nodes[j].id
+	})
+	var out cluster.Alloc
+	need := w
+	for _, n := range nodes {
+		take := n.free
+		if take > need {
+			take = need
+		}
+		out = append(out, cluster.Placement{Node: n.id, Type: t, Count: take})
+		need -= take
+		if need == 0 {
+			return out, true
+		}
+	}
+	return nil, false
+}
+
+// PlaceAnyType fills w workers from the free pool following the given
+// type preference order (earlier types first), spreading across nodes as
+// needed. It reports ok=false if fewer than w devices of the preferred
+// types are free. Types the job cannot use must be excluded by the
+// caller.
+func PlaceAnyType(st *cluster.State, prefer []gpu.Type, w int) (cluster.Alloc, bool) {
+	var out cluster.Alloc
+	need := w
+	for _, t := range prefer {
+		if need == 0 {
+			break
+		}
+		for id := 0; id < st.Cluster().NumNodes() && need > 0; id++ {
+			if f := st.Free(id, t); f > 0 {
+				take := f
+				if take > need {
+					take = need
+				}
+				out = append(out, cluster.Placement{Node: id, Type: t, Count: take})
+				need -= take
+			}
+		}
+	}
+	if need > 0 {
+		return nil, false
+	}
+	return out, true
+}
+
+// UsableTypes returns the job's usable accelerator types sorted by
+// descending throughput (ties by ascending type).
+func UsableTypes(j *job.Job) []gpu.Type {
+	var out []gpu.Type
+	for t := gpu.Type(0); t < gpu.NumTypes; t++ {
+		if j.Speed(t) > 0 {
+			out = append(out, t)
+		}
+	}
+	sort.SliceStable(out, func(a, b int) bool {
+		return j.Speed(out[a]) > j.Speed(out[b])
+	})
+	return out
+}

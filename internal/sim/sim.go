@@ -1,0 +1,475 @@
+// Package sim implements the trace-driven, round-based cluster
+// simulator used for the paper's evaluation. Time advances in scheduling
+// rounds (6 minutes by default); at each round boundary the scheduler
+// under test produces task-level allocations for all arrived, unfinished
+// jobs, and the simulator advances every allocated job at its bottleneck
+// throughput, charging checkpoint-restart overhead to jobs whose
+// allocation changed.
+//
+// Resources move only at round boundaries (a job finishing mid-round
+// holds its GPUs until the boundary, which is what makes the round
+// length a performance knob, Fig. 9), but completion times are recorded
+// at second granularity so JCT is not quantized.
+package sim
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"time"
+
+	"repro/internal/checkpoint"
+	"repro/internal/cluster"
+	"repro/internal/gpu"
+	"repro/internal/job"
+	"repro/internal/metrics"
+	"repro/internal/sched"
+)
+
+// Options configures a simulation run.
+type Options struct {
+	// RoundLength is the scheduling interval in seconds (paper default:
+	// 6 minutes).
+	RoundLength float64
+	// UseModelCosts selects the Table IV per-model checkpoint cost model
+	// instead of the flat delay.
+	UseModelCosts bool
+	// FlatDelay is the checkpoint-restart stall charged to a job whose
+	// allocation changed, when UseModelCosts is false. The paper's
+	// simulator uses 10 s.
+	FlatDelay float64
+	// QuantizeCompletions records job finish times at the round boundary
+	// instead of the exact second (ablation 1 in DESIGN.md).
+	QuantizeCompletions bool
+	// CheckpointContention models shared checkpoint storage: when
+	// several reallocated jobs save/restore through the same node's SSD
+	// in the same round, each job's stall is multiplied by the number of
+	// jobs contending on its busiest node (the paper's prototype gives
+	// every instance a ~1000 MiB/s SSD, so contention arises only
+	// within a node).
+	CheckpointContention bool
+	// MaxRounds aborts a runaway simulation. 0 means a generous default.
+	MaxRounds int
+	// StallLimit aborts after this many consecutive rounds in which
+	// active jobs exist but nothing is allocated (scheduler starvation
+	// bug guard). 0 means a default of 5000 rounds.
+	StallLimit int
+	// Failures injects machine outages: while a node is down, the
+	// schedulers see it with zero capacity, and any job allocated on it
+	// when the outage begins loses that round's progress (work since
+	// its last checkpoint) and must be re-placed.
+	Failures []Failure
+	// EventLog, when non-nil, receives one JSON line per simulation
+	// event (arrivals, starts, reallocations, pauses, completions, node
+	// outages). Parse with ReadEvents.
+	EventLog io.Writer
+}
+
+// Failure is one machine outage window [Start, End).
+type Failure struct {
+	Node  int
+	Start float64
+	End   float64
+}
+
+// downNodes returns the set of failed nodes overlapping the round
+// [now, now+round).
+func downNodes(failures []Failure, now, round float64) map[int]bool {
+	var down map[int]bool
+	for _, f := range failures {
+		if f.Start < now+round && f.End > now {
+			if down == nil {
+				down = make(map[int]bool)
+			}
+			down[f.Node] = true
+		}
+	}
+	return down
+}
+
+// DefaultOptions returns the paper's simulation settings.
+func DefaultOptions() Options {
+	return Options{
+		RoundLength: checkpoint.RoundSeconds,
+		FlatDelay:   checkpoint.DefaultDelay,
+	}
+}
+
+func (o *Options) normalize() error {
+	if o.RoundLength <= 0 {
+		return fmt.Errorf("sim: non-positive round length %v", o.RoundLength)
+	}
+	if o.FlatDelay < 0 || o.FlatDelay >= o.RoundLength {
+		return fmt.Errorf("sim: flat delay %v outside [0, round)", o.FlatDelay)
+	}
+	if o.MaxRounds == 0 {
+		o.MaxRounds = 2_000_000
+	}
+	if o.StallLimit == 0 {
+		o.StallLimit = 5000
+	}
+	for _, f := range o.Failures {
+		if f.End <= f.Start || f.Start < 0 {
+			return fmt.Errorf("sim: invalid failure window [%v, %v) on node %d", f.Start, f.End, f.Node)
+		}
+	}
+	return nil
+}
+
+// Run simulates the scheduler on the trace and returns the metrics
+// report. It returns an error for malformed inputs or scheduler protocol
+// violations (broken gang constraint, capacity overflow, allocation to
+// unknown jobs).
+func Run(c *cluster.Cluster, jobs []*job.Job, s sched.Scheduler, opts Options) (*metrics.Report, error) {
+	if err := opts.normalize(); err != nil {
+		return nil, err
+	}
+	if len(jobs) == 0 {
+		return nil, fmt.Errorf("sim: empty trace")
+	}
+	totalGPUs := c.TotalGPUs()
+	for _, j := range jobs {
+		if err := j.Validate(); err != nil {
+			return nil, fmt.Errorf("sim: %w", err)
+		}
+		usable := 0
+		for _, t := range sched.UsableTypes(j) {
+			usable += c.TotalOfType(t)
+		}
+		if usable < j.Workers {
+			return nil, fmt.Errorf("sim: %v can never be placed (needs %d workers, %d usable devices)",
+				j, j.Workers, usable)
+		}
+	}
+
+	// States in arrival order; jobs slice is not modified.
+	ordered := append([]*job.Job(nil), jobs...)
+	sortByArrival(ordered)
+	states := make([]*sched.JobState, len(ordered))
+	for i, j := range ordered {
+		states[i] = &sched.JobState{
+			Job:          j,
+			Remaining:    j.TotalIters(),
+			RoundsByType: make(map[gpu.Type]float64),
+		}
+	}
+
+	report := &metrics.Report{Scheduler: s.Name(), TotalGPUs: totalGPUs}
+	log := newEventLogger(opts.EventLog)
+	prevDown := map[int]bool{}
+	var active []*sched.JobState
+	next := 0 // index of next not-yet-arrived job
+	now := 0.0
+	stalled := 0
+
+	for round := 0; ; round++ {
+		if round >= opts.MaxRounds {
+			return nil, fmt.Errorf("sim: exceeded %d rounds with %d jobs unfinished", opts.MaxRounds, len(active)+len(states)-next)
+		}
+		// Admit arrivals up to now.
+		for next < len(states) && states[next].Job.Arrival <= now {
+			active = append(active, states[next])
+			if err := log.emit(Event{Time: states[next].Job.Arrival, Round: round,
+				Type: EventArrive, Job: states[next].Job.ID, Node: -1}); err != nil {
+				return nil, err
+			}
+			next++
+		}
+		if len(active) == 0 {
+			if next >= len(states) {
+				break // all done
+			}
+			// Fast-forward to the round boundary at or after the next
+			// arrival.
+			arr := states[next].Job.Arrival
+			skip := math.Ceil(arr/opts.RoundLength) * opts.RoundLength
+			if skip <= now {
+				skip = now + opts.RoundLength
+			}
+			now = skip
+			continue
+		}
+
+		// Failure handling: schedulers see nodes that are down *now*
+		// (they cannot foresee an outage beginning mid-round), while
+		// progress accounting uses any outage overlapping the round.
+		viewDown := downNodes(opts.Failures, now, 1e-9)
+		surpriseDown := downNodes(opts.Failures, now, opts.RoundLength)
+		viewCluster := c
+		if len(viewDown) > 0 {
+			viewCluster = c.Without(viewDown)
+		}
+		for n := range viewDown {
+			if !prevDown[n] {
+				if err := log.emit(Event{Time: now, Round: round, Type: EventNodeDown, Job: -1, Node: n}); err != nil {
+					return nil, err
+				}
+			}
+		}
+		for n := range prevDown {
+			if !viewDown[n] {
+				if err := log.emit(Event{Time: now, Round: round, Type: EventNodeUp, Job: -1, Node: n}); err != nil {
+					return nil, err
+				}
+			}
+		}
+		prevDown = viewDown
+		if prevDown == nil {
+			prevDown = map[int]bool{}
+		}
+
+		ctx := &sched.Context{
+			Now:         now,
+			Round:       round,
+			RoundLength: opts.RoundLength,
+			Horizon:     horizon(now, active, opts.RoundLength),
+			Cluster:     viewCluster,
+			Jobs:        append([]*sched.JobState(nil), active...),
+		}
+		start := time.Now()
+		decisions := s.Schedule(ctx)
+		report.DecisionTime += time.Since(start)
+		report.Decisions++
+		report.Rounds++
+
+		// Validate the joint decision.
+		activeByID := make(map[int]*sched.JobState, len(active))
+		for _, st := range active {
+			activeByID[st.Job.ID] = st
+		}
+		free := cluster.NewState(viewCluster)
+		for id, alloc := range decisions {
+			st, ok := activeByID[id]
+			if !ok {
+				if alloc.Workers() > 0 {
+					return nil, fmt.Errorf("sim: %s allocated to unknown or inactive job %d", s.Name(), id)
+				}
+				continue
+			}
+			if err := sched.Validate(st.Job, alloc); err != nil {
+				return nil, fmt.Errorf("sim: %s: %w", s.Name(), err)
+			}
+			if alloc.Workers() > 0 {
+				if err := free.Allocate(alloc); err != nil {
+					return nil, fmt.Errorf("sim: %s over-allocated: %w", s.Name(), err)
+				}
+			}
+		}
+
+		// Apply decisions. First pass: detect reallocations and, when
+		// contention modeling is on, count how many reallocated jobs
+		// checkpoint through each node this round.
+		type appliedJob struct {
+			st      *sched.JobState
+			alloc   cluster.Alloc
+			prev    cluster.Alloc
+			changed bool
+		}
+		applied := make([]appliedJob, 0, len(active))
+		nodeCheckpoints := map[int]int{}
+		for _, st := range active {
+			newAlloc := decisions[st.Job.ID].Canonical()
+			prev := st.Alloc
+			changed := !newAlloc.Equal(prev)
+			st.Alloc = newAlloc
+			applied = append(applied, appliedJob{st: st, alloc: newAlloc, prev: prev, changed: changed})
+			if opts.CheckpointContention && changed {
+				for _, p := range prev.Canonical() {
+					nodeCheckpoints[p.Node]++
+				}
+				for _, p := range newAlloc {
+					nodeCheckpoints[p.Node]++
+				}
+			}
+		}
+
+		// Second pass: advance each allocated job.
+		anyAllocated := false
+		heldThisRound := 0
+		var stillActive []*sched.JobState
+		for _, aj := range applied {
+			st, newAlloc, prev, changed := aj.st, aj.alloc, aj.prev, aj.changed
+			w := newAlloc.Workers()
+			if w == 0 {
+				if prev.Workers() > 0 {
+					if err := log.emit(Event{Time: now, Round: round, Type: EventPause,
+						Job: st.Job.ID, Node: -1}); err != nil {
+						return nil, err
+					}
+				}
+				stillActive = append(stillActive, st)
+				continue
+			}
+			anyAllocated = true
+			if !st.Started {
+				st.Started = true
+				st.StartTime = now
+				if err := log.emit(Event{Time: now, Round: round, Type: EventStart,
+					Job: st.Job.ID, Node: -1, Alloc: newAlloc.String()}); err != nil {
+					return nil, err
+				}
+			}
+			report.JobRoundAllocs++
+			report.HeldGPUSeconds += float64(w) * opts.RoundLength
+			heldThisRound += w
+			realloc := changed && prev.Workers() > 0
+			if realloc {
+				report.JobRoundReallocs++
+				st.Reallocations++
+				if err := log.emit(Event{Time: now, Round: round, Type: EventRealloc,
+					Job: st.Job.ID, Node: -1, Alloc: newAlloc.String()}); err != nil {
+					return nil, err
+				}
+			}
+
+			delay := stallFor(st.Job.Model, changed, opts)
+			if opts.CheckpointContention && changed {
+				factor := 1
+				for _, p := range append(newAlloc.Canonical(), prev.Canonical()...) {
+					if n := nodeCheckpoints[p.Node]; n > factor {
+						factor = n
+					}
+				}
+				delay *= float64(factor)
+			}
+			// A node failing during the round kills the gang's progress
+			// for the whole round: the work since the last checkpoint is
+			// lost and the job re-places at the next boundary.
+			if len(surpriseDown) > 0 {
+				killed := false
+				for _, p := range newAlloc {
+					if surpriseDown[p.Node] {
+						killed = true
+						break
+					}
+				}
+				if killed {
+					stillActive = append(stillActive, st)
+					continue
+				}
+			}
+			if delay >= opts.RoundLength {
+				delay = opts.RoundLength
+			}
+			window := opts.RoundLength - delay
+			rate := sched.Rate(st.Job, c, newAlloc)
+			st.Rounds++
+			for _, t := range newAlloc.Types() {
+				st.RoundsByType[t]++
+			}
+
+			if rate <= 0 {
+				// Allocated but cannot progress (validated types make
+				// this unreachable, but stay safe).
+				stillActive = append(stillActive, st)
+				continue
+			}
+			if st.Remaining <= rate*window {
+				// Finishes within this round.
+				tau := st.Remaining / rate
+				st.Remaining = 0
+				st.Attained += float64(w) * tau
+				report.BusyGPUSeconds += float64(w) * tau
+				finish := now + delay + tau
+				if opts.QuantizeCompletions {
+					finish = now + opts.RoundLength
+				}
+				report.Jobs = append(report.Jobs, jobResult(st, finish, len(jobs), totalGPUs))
+				if err := log.emit(Event{Time: finish, Round: round, Type: EventFinish,
+					Job: st.Job.ID, Node: -1}); err != nil {
+					return nil, err
+				}
+				if finish > report.Makespan {
+					report.Makespan = finish
+				}
+				// Job leaves the active set; its GPUs are free from the
+				// next boundary on (the simulator rebuilds allocations
+				// each round).
+				continue
+			}
+			st.Remaining -= rate * window
+			st.Attained += float64(w) * window
+			report.BusyGPUSeconds += float64(w) * window
+			stillActive = append(stillActive, st)
+		}
+		active = stillActive
+		report.RoundHeld = append(report.RoundHeld, heldThisRound)
+		report.RoundStarts = append(report.RoundStarts, now)
+
+		if !anyAllocated && len(active) > 0 {
+			stalled++
+			if stalled >= opts.StallLimit {
+				return nil, fmt.Errorf("sim: %s stalled for %d rounds with %d active jobs at t=%.0fs",
+					s.Name(), stalled, len(active), now)
+			}
+		} else {
+			stalled = 0
+		}
+		now += opts.RoundLength
+		if len(active) == 0 && next >= len(states) {
+			break
+		}
+	}
+	report.SortJobsByID()
+	return report, nil
+}
+
+// stallFor returns the checkpoint stall (seconds) at the start of a
+// round for a job whose allocation did or did not change. "changed"
+// includes the job's very first allocation (the initial model load).
+func stallFor(model string, changed bool, opts Options) float64 {
+	if opts.UseModelCosts {
+		return checkpoint.Delay(model, changed)
+	}
+	if changed {
+		return opts.FlatDelay
+	}
+	return 0
+}
+
+// horizon estimates the scheduling horizon T for the price bounds: the
+// current time plus the serial worst-case runtime of all active jobs.
+func horizon(now float64, active []*sched.JobState, round float64) float64 {
+	h := now + round
+	for _, st := range active {
+		d := st.Job.MaxDuration()
+		if math.IsInf(d, 1) {
+			continue
+		}
+		// Scale the per-job worst case by its remaining fraction.
+		frac := st.Remaining / st.Job.TotalIters()
+		h += d * frac
+	}
+	return h
+}
+
+func jobResult(st *sched.JobState, finish float64, n, totalGPUs int) metrics.JobResult {
+	_, best, _ := st.Job.BestType()
+	return metrics.JobResult{
+		ID:         st.Job.ID,
+		Model:      st.Job.Model,
+		Workers:    st.Job.Workers,
+		Arrival:    st.Job.Arrival,
+		Start:      st.StartTime,
+		Finish:     finish,
+		TotalIters: st.Job.TotalIters(),
+		IsolatedDuration: metrics.IsolatedDuration(
+			st.Job.TotalIters(), st.Job.Workers, best, n, totalGPUs),
+		Reallocations: st.Reallocations,
+	}
+}
+
+func sortByArrival(jobs []*job.Job) {
+	for i := 1; i < len(jobs); i++ {
+		for k := i; k > 0 && less(jobs[k], jobs[k-1]); k-- {
+			jobs[k], jobs[k-1] = jobs[k-1], jobs[k]
+		}
+	}
+}
+
+func less(a, b *job.Job) bool {
+	if a.Arrival != b.Arrival {
+		return a.Arrival < b.Arrival
+	}
+	return a.ID < b.ID
+}

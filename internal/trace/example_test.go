@@ -1,0 +1,26 @@
+package trace_test
+
+import (
+	"fmt"
+
+	"repro/internal/trace"
+)
+
+// Example synthesizes a small deterministic trace and summarizes it.
+func Example() {
+	cfg := trace.DefaultConfig()
+	cfg.NumJobs = 3
+	cfg.Seed = 42
+	jobs, err := trace.Generate(cfg)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	for _, j := range jobs {
+		fmt.Printf("%s: %d workers, %.1f GPU-hours\n", j.Model, j.Workers, j.GPUHours())
+	}
+	// Output:
+	// CycleGAN: 1 workers, 6.4 GPU-hours
+	// ResNet-50: 1 workers, 92.5 GPU-hours
+	// ResNet-18: 1 workers, 0.8 GPU-hours
+}

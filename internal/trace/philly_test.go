@@ -1,0 +1,165 @@
+package trace
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func sampleRows() []PhillyRow {
+	return []PhillyRow{
+		{JobID: "app-1", SubmitTime: 0, GPUs: 1, Duration: 1800},    // 0.5 GPUh -> S
+		{JobID: "app-2", SubmitTime: 60, GPUs: 2, Duration: 7200},   // 4 GPUh -> M
+		{JobID: "app-3", SubmitTime: 120, GPUs: 4, Duration: 18000}, // 20 GPUh -> L
+		{JobID: "app-4", SubmitTime: 300, GPUs: 8, Duration: 36000}, // 80 GPUh -> XL
+	}
+}
+
+func TestPhillyCSVRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WritePhillyCSV(&buf, sampleRows()); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadPhillyCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 4 {
+		t.Fatalf("round trip lost rows: %d", len(back))
+	}
+	for i, r := range sampleRows() {
+		if back[i] != r {
+			t.Errorf("row %d mutated: %+v vs %+v", i, back[i], r)
+		}
+	}
+}
+
+func TestReadPhillyCSVErrors(t *testing.T) {
+	cases := []string{
+		"",          // no header
+		"a,b,c,d\n", // wrong header
+		"job_id,submit_time_s,gpus,duration_s\nx,NaNish,1,10\n", // bad float
+		"job_id,submit_time_s,gpus,duration_s\nx,0,zero,10\n",   // bad int
+		"job_id,submit_time_s,gpus,duration_s\nx,0,0,10\n",      // zero gpus
+		"job_id,submit_time_s,gpus,duration_s\nx,0,1,-5\n",      // negative duration
+		"job_id,submit_time_s,gpus,duration_s\nx,-1,1,5\n",      // negative submit
+	}
+	for i, c := range cases {
+		if _, err := ReadPhillyCSV(strings.NewReader(c)); err == nil {
+			t.Errorf("case %d accepted: %q", i, c)
+		}
+	}
+}
+
+func TestFromPhillyClassAssignment(t *testing.T) {
+	jobs, err := FromPhilly(sampleRows(), 1, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantClass := []SizeClass{Small, Medium, Large, XLarge}
+	for i, j := range jobs {
+		spec, ok := ModelByName(j.Model)
+		if !ok {
+			t.Fatalf("job %d has unknown model %s", i, j.Model)
+		}
+		if spec.Size != wantClass[i] {
+			t.Errorf("row %d mapped to class %v, want %v", i, spec.Size, wantClass[i])
+		}
+		if j.Arrival != sampleRows()[i].SubmitTime {
+			t.Errorf("row %d arrival %v, want %v", i, j.Arrival, sampleRows()[i].SubmitTime)
+		}
+		if j.Workers != sampleRows()[i].GPUs {
+			t.Errorf("row %d workers %d, want %d", i, j.Workers, sampleRows()[i].GPUs)
+		}
+	}
+}
+
+func TestFromPhillyPreservesGPUHours(t *testing.T) {
+	rows := sampleRows()
+	jobs, err := FromPhilly(rows, 1, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, j := range jobs {
+		want := rows[i].Duration * float64(rows[i].GPUs) / 3600
+		spec, _ := ModelByName(j.Model)
+		_, best, _ := j.BestType()
+		slack := float64(spec.ItersPerEpoch) / best * float64(j.Workers) / 3600
+		if math.Abs(j.GPUHours()-want) > slack+1e-9 {
+			t.Errorf("row %d GPU-hours %.3f, want %.3f (slack %.3f)", i, j.GPUHours(), want, slack)
+		}
+	}
+}
+
+func TestFromPhillyClampsWorkers(t *testing.T) {
+	rows := []PhillyRow{{JobID: "big", SubmitTime: 0, GPUs: 128, Duration: 3600}}
+	jobs, err := FromPhilly(rows, 1, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if jobs[0].Workers != 16 {
+		t.Errorf("workers = %d, want clamped 16", jobs[0].Workers)
+	}
+	if _, err := FromPhilly(rows, 1, 0); err == nil {
+		t.Error("zero maxWorkers accepted")
+	}
+}
+
+func TestFromPhillyDeterministic(t *testing.T) {
+	a, _ := FromPhilly(sampleRows(), 5, 16)
+	b, _ := FromPhilly(sampleRows(), 5, 16)
+	for i := range a {
+		if a[i].Model != b[i].Model || a[i].Epochs != b[i].Epochs {
+			t.Fatal("same seed produced different conversions")
+		}
+	}
+}
+
+func TestClassOfBoundaries(t *testing.T) {
+	cases := []struct {
+		hours float64
+		want  SizeClass
+	}{
+		{0.5, Small}, {1, Medium}, {9.99, Medium}, {10, Large},
+		{49.9, Large}, {55, XLarge}, {500, XLarge},
+	}
+	for _, c := range cases {
+		if got := classOf(c.hours); got != c.want {
+			t.Errorf("classOf(%v) = %v, want %v", c.hours, got, c.want)
+		}
+	}
+}
+
+func TestToPhillyExport(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.NumJobs = 10
+	jobs, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := ToPhilly(jobs)
+	if len(rows) != 10 {
+		t.Fatalf("exported %d rows", len(rows))
+	}
+	for i, r := range rows {
+		if r.GPUs != jobs[i].Workers || r.Duration <= 0 {
+			t.Errorf("row %d malformed: %+v", i, r)
+		}
+	}
+	// And the export parses back through the importer.
+	var buf bytes.Buffer
+	if err := WritePhillyCSV(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadPhillyCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 10 {
+		t.Fatal("export/import mismatch")
+	}
+	if _, err := FromPhilly(back, 1, 16); err != nil {
+		t.Fatalf("re-imported trace rejected: %v", err)
+	}
+}

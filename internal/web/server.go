@@ -1,0 +1,249 @@
+package web
+
+import (
+	"encoding/json"
+	"fmt"
+	"html/template"
+	"net/http"
+	"sort"
+
+	"repro/internal/experiments"
+	"repro/internal/metrics"
+)
+
+// Server renders a finished scheduling comparison as a web dashboard.
+type Server struct {
+	cmp *experiments.Comparison
+	mux *http.ServeMux
+}
+
+// NewServer wraps a comparison. The comparison must not be mutated
+// while the server runs.
+func NewServer(cmp *experiments.Comparison) *Server {
+	s := &Server{cmp: cmp, mux: http.NewServeMux()}
+	s.mux.HandleFunc("/", s.handleIndex)
+	s.mux.HandleFunc("/cdf.svg", s.handleCDF)
+	s.mux.HandleFunc("/occupancy.svg", s.handleOccupancy)
+	s.mux.HandleFunc("/utilization.svg", s.handleUtilization)
+	s.mux.HandleFunc("/jobs", s.handleJobs)
+	s.mux.HandleFunc("/api/summary", s.handleSummary)
+	return s
+}
+
+// Handler returns the dashboard's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+var indexTmpl = template.Must(template.New("index").Parse(`<!DOCTYPE html>
+<html><head><title>hadar-go dashboard</title>
+<style>
+body { font-family: sans-serif; margin: 24px; color: #222; }
+table { border-collapse: collapse; margin: 12px 0 24px; }
+th, td { border: 1px solid #ccc; padding: 6px 12px; text-align: right; }
+th:first-child, td:first-child { text-align: left; }
+h1 { font-size: 20px; } h2 { font-size: 16px; margin-top: 28px; }
+a { color: #1f77b4; }
+</style></head><body>
+<h1>Hadar reproduction — scheduling comparison</h1>
+<table>
+<tr><th>scheduler</th><th>avg JCT (h)</th><th>median JCT (h)</th>
+<th>makespan (h)</th><th>utilization</th><th>avg FTF</th>
+<th>queue delay (h)</th><th>realloc %</th><th></th></tr>
+{{range .Rows}}
+<tr><td>{{.Name}}</td><td>{{printf "%.2f" .AvgJCT}}</td>
+<td>{{printf "%.2f" .MedianJCT}}</td><td>{{printf "%.2f" .Makespan}}</td>
+<td>{{printf "%.1f%%" .Utilization}}</td><td>{{printf "%.2f" .FTF}}</td>
+<td>{{printf "%.2f" .Queue}}</td><td>{{printf "%.1f%%" .Realloc}}</td>
+<td><a href="/jobs?scheduler={{.Name}}">jobs</a></td></tr>
+{{end}}
+</table>
+<h2>Completion CDF</h2><img src="/cdf.svg" alt="completion CDF">
+<h2>GPU utilization</h2><img src="/utilization.svg" alt="utilization">
+<h2>Cluster occupancy ({{.First}})</h2>
+<img src="/occupancy.svg?scheduler={{.First}}" alt="occupancy">
+<p><a href="/api/summary">JSON summary</a></p>
+</body></html>`))
+
+type indexRow struct {
+	Name        string
+	AvgJCT      float64
+	MedianJCT   float64
+	Makespan    float64
+	Utilization float64
+	FTF         float64
+	Queue       float64
+	Realloc     float64
+}
+
+func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/" {
+		http.NotFound(w, r)
+		return
+	}
+	data := struct {
+		Rows  []indexRow
+		First string
+	}{}
+	for _, name := range s.cmp.Order {
+		rep := s.cmp.Reports[name]
+		data.Rows = append(data.Rows, indexRow{
+			Name:        name,
+			AvgJCT:      rep.AvgJCT() / 3600,
+			MedianJCT:   rep.MedianJCT() / 3600,
+			Makespan:    rep.Makespan / 3600,
+			Utilization: 100 * rep.Utilization(),
+			FTF:         rep.AvgFTF(),
+			Queue:       rep.AvgQueueDelay() / 3600,
+			Realloc:     100 * rep.ReallocationFraction(),
+		})
+	}
+	if len(s.cmp.Order) > 0 {
+		data.First = s.cmp.Order[0]
+	}
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	if err := indexTmpl.Execute(w, data); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+func (s *Server) handleCDF(w http.ResponseWriter, r *http.Request) {
+	var series []svgSeries
+	for _, name := range s.cmp.Order {
+		rep := s.cmp.Reports[name]
+		sv := svgSeries{Name: name, Step: true}
+		sv.X = append(sv.X, 0)
+		sv.Y = append(sv.Y, 0)
+		for _, p := range rep.CompletionCDF() {
+			sv.X = append(sv.X, p.X/3600)
+			sv.Y = append(sv.Y, p.Fraction)
+		}
+		series = append(series, sv)
+	}
+	w.Header().Set("Content-Type", "image/svg+xml")
+	fmt.Fprint(w, lineSVG("fraction of jobs completed over time", "hours", "fraction", 760, 380, series))
+}
+
+func (s *Server) report(r *http.Request) (*metrics.Report, string, bool) {
+	name := r.URL.Query().Get("scheduler")
+	if name == "" && len(s.cmp.Order) > 0 {
+		name = s.cmp.Order[0]
+	}
+	rep, ok := s.cmp.Reports[name]
+	return rep, name, ok
+}
+
+func (s *Server) handleOccupancy(w http.ResponseWriter, r *http.Request) {
+	rep, name, ok := s.report(r)
+	if !ok {
+		http.Error(w, "unknown scheduler", http.StatusNotFound)
+		return
+	}
+	sv := svgSeries{Name: name}
+	for i, held := range rep.RoundHeld {
+		t := 0.0
+		if i < len(rep.RoundStarts) {
+			t = rep.RoundStarts[i]
+		}
+		sv.X = append(sv.X, t/3600)
+		sv.Y = append(sv.Y, float64(held))
+	}
+	w.Header().Set("Content-Type", "image/svg+xml")
+	fmt.Fprint(w, lineSVG("held workers per round — "+name, "hours", "workers", 760, 300, []svgSeries{sv}))
+}
+
+func (s *Server) handleUtilization(w http.ResponseWriter, r *http.Request) {
+	var labels []string
+	var values []float64
+	for _, name := range s.cmp.Order {
+		labels = append(labels, name)
+		values = append(values, 100*s.cmp.Reports[name].Utilization())
+	}
+	w.Header().Set("Content-Type", "image/svg+xml")
+	fmt.Fprint(w, barSVG("GPU utilization", "%", 560, labels, values))
+}
+
+var jobsTmpl = template.Must(template.New("jobs").Parse(`<!DOCTYPE html>
+<html><head><title>{{.Name}} jobs</title>
+<style>
+body { font-family: sans-serif; margin: 24px; color: #222; }
+table { border-collapse: collapse; }
+th, td { border: 1px solid #ccc; padding: 4px 10px; text-align: right; }
+</style></head><body>
+<h1>{{.Name}}: {{len .Jobs}} jobs</h1>
+<p><a href="/">back</a></p>
+<table>
+<tr><th>id</th><th>model</th><th>W</th><th>arrival (h)</th><th>start (h)</th>
+<th>finish (h)</th><th>JCT (h)</th><th>FTF</th><th>reallocs</th></tr>
+{{range .Jobs}}
+<tr><td>{{.ID}}</td><td>{{.Model}}</td><td>{{.Workers}}</td>
+<td>{{printf "%.2f" .ArrivalH}}</td><td>{{printf "%.2f" .StartH}}</td>
+<td>{{printf "%.2f" .FinishH}}</td><td>{{printf "%.2f" .JCTH}}</td>
+<td>{{printf "%.2f" .FTF}}</td><td>{{.Reallocs}}</td></tr>
+{{end}}
+</table></body></html>`))
+
+type jobRow struct {
+	ID       int
+	Model    string
+	Workers  int
+	ArrivalH float64
+	StartH   float64
+	FinishH  float64
+	JCTH     float64
+	FTF      float64
+	Reallocs int
+}
+
+func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
+	rep, name, ok := s.report(r)
+	if !ok {
+		http.Error(w, "unknown scheduler", http.StatusNotFound)
+		return
+	}
+	data := struct {
+		Name string
+		Jobs []jobRow
+	}{Name: name}
+	for _, j := range rep.Jobs {
+		data.Jobs = append(data.Jobs, jobRow{
+			ID: j.ID, Model: j.Model, Workers: j.Workers,
+			ArrivalH: j.Arrival / 3600, StartH: j.Start / 3600,
+			FinishH: j.Finish / 3600, JCTH: j.JCT() / 3600,
+			FTF: j.FTF(), Reallocs: j.Reallocations,
+		})
+	}
+	sort.Slice(data.Jobs, func(a, b int) bool { return data.Jobs[a].ID < data.Jobs[b].ID })
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	if err := jobsTmpl.Execute(w, data); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+// summaryEntry is one scheduler's JSON summary.
+type summaryEntry struct {
+	Scheduler     string  `json:"scheduler"`
+	AvgJCTSec     float64 `json:"avg_jct_s"`
+	MedianJCTSec  float64 `json:"median_jct_s"`
+	MakespanSec   float64 `json:"makespan_s"`
+	Utilization   float64 `json:"utilization"`
+	Occupancy     float64 `json:"occupancy"`
+	AvgFTF        float64 `json:"avg_ftf"`
+	QueueDelaySec float64 `json:"avg_queue_delay_s"`
+	Jobs          int     `json:"jobs"`
+}
+
+func (s *Server) handleSummary(w http.ResponseWriter, r *http.Request) {
+	var out []summaryEntry
+	for _, name := range s.cmp.Order {
+		rep := s.cmp.Reports[name]
+		out = append(out, summaryEntry{
+			Scheduler: name, AvgJCTSec: rep.AvgJCT(), MedianJCTSec: rep.MedianJCT(),
+			MakespanSec: rep.Makespan, Utilization: rep.Utilization(),
+			Occupancy: rep.Occupancy(), AvgFTF: rep.AvgFTF(),
+			QueueDelaySec: rep.AvgQueueDelay(), Jobs: len(rep.Jobs),
+		})
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(out); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
