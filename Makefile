@@ -1,0 +1,37 @@
+# Repro of "Hadar: Heterogeneity-Aware Optimization-Based Online
+# Scheduling for Deep Learning Cluster".
+#
+# `make check` is the full gate CI runs: build, vet, and the test suite
+# under the race detector (the allocation-state layer is mutable shared
+# scratch; -race guards against anyone threading it by accident).
+
+GO ?= go
+
+.PHONY: check build vet test race bench-smoke bench experiments
+
+check: build vet race
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# bench-smoke runs each allocation-state microbenchmark once: a fast
+# regression canary that the hot path still runs, not a measurement.
+bench-smoke:
+	$(GO) test -run='^$$' -bench='BenchmarkDPAllocate|BenchmarkGreedyAllocate' -benchtime=1x -benchmem .
+
+# bench takes real measurements of the scheduling hot path.
+bench:
+	$(GO) test -run='^$$' -bench='BenchmarkDPAllocate|BenchmarkGreedyAllocate|BenchmarkSimulate480Jobs' -benchmem .
+
+# experiments regenerates the paper's tables and figures at full scale.
+experiments:
+	$(GO) run ./cmd/experiments -all

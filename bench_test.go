@@ -17,9 +17,97 @@ import (
 	"repro/internal/gpu"
 	"repro/internal/metrics"
 	"repro/internal/profiler"
+	"repro/internal/sched"
 	"repro/internal/sim"
 	"repro/internal/trace"
 )
+
+// --- Allocation-state hot-path microbenchmarks (DESIGN.md
+// "Allocation-state layer"). These isolate the per-round scheduling
+// inner loop: the memoized DP dual subroutine, the greedy fallback, and
+// a full end-to-end simulation at paper scale.
+
+// benchSchedContext builds a single-round scheduling context over the
+// paper's 15-node simulated cluster with numJobs pending jobs.
+func benchSchedContext(b *testing.B, numJobs int) *sched.Context {
+	b.Helper()
+	cfg := trace.DefaultConfig()
+	cfg.NumJobs = numJobs
+	jobs, err := trace.Generate(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	states := make([]*sched.JobState, len(jobs))
+	horizon := 0.0
+	for i, j := range jobs {
+		states[i] = &sched.JobState{
+			Job:          j,
+			Remaining:    j.TotalIters(),
+			RoundsByType: make(map[gpu.Type]float64),
+		}
+		horizon += j.MaxDuration()
+	}
+	return &sched.Context{
+		Now:         0,
+		Round:       0,
+		RoundLength: 360,
+		Horizon:     horizon,
+		Cluster:     experiments.SimCluster(),
+		Jobs:        states,
+	}
+}
+
+// BenchmarkDPAllocate exercises Algorithm 2's exact memoized DP
+// (dpAllocate) on a queue that fits under DPJobLimit.
+func BenchmarkDPAllocate(b *testing.B) {
+	ctx := benchSchedContext(b, 10)
+	opts := core.DefaultOptions()
+	opts.DPJobLimit = 10
+	opts.Backfill = false
+	s := core.New(opts)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Schedule(ctx)
+	}
+}
+
+// BenchmarkGreedyAllocate exercises the large-queue greedy fallback
+// (greedyAllocate) plus the work-conserving backfill pass.
+func BenchmarkGreedyAllocate(b *testing.B) {
+	ctx := benchSchedContext(b, 64)
+	opts := core.DefaultOptions()
+	opts.DPJobLimit = 0
+	s := core.New(opts)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Schedule(ctx)
+	}
+}
+
+// BenchmarkSimulate480Jobs runs the full seed experiment end to end:
+// Hadar on the 480-job Philly-like trace over the paper's simulated
+// cluster.
+func BenchmarkSimulate480Jobs(b *testing.B) {
+	cfg := trace.DefaultConfig()
+	cfg.NumJobs = 480
+	jobs, err := trace.Generate(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err := sim.Run(experiments.SimCluster(), jobs, core.New(core.DefaultOptions()), sim.DefaultOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			b.ReportMetric(r.AvgJCT()/3600, "avgJCT-h")
+		}
+	}
+}
 
 // benchSetup is the reduced scale used by the benchmark harness.
 func benchSetup() experiments.Setup {

@@ -1,0 +1,80 @@
+package repro
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/allox"
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/gavel"
+	"repro/internal/policy"
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/tiresias"
+	"repro/internal/trace"
+	"repro/internal/yarncs"
+)
+
+// TestSchedulerDeterminism runs the seed Philly-like trace through every
+// scheduler twice and asserts the per-job schedules are identical. This
+// is the regression guard for the hash-keyed DP memoization: Hadar's
+// dual subroutine memoizes on the 64-bit free-state hash, and any
+// nondeterminism there (map iteration order, hash instability) would
+// show up as run-to-run schedule drift long before it corrupted a
+// result enough to fail a coarser metric check.
+func TestSchedulerDeterminism(t *testing.T) {
+	core.PanicOnInconsistency = true
+	numJobs := 480
+	if testing.Short() {
+		numJobs = 96
+	}
+	schedulers := map[string]func() sched.Scheduler{
+		"hadar":           func() sched.Scheduler { return core.New(core.DefaultOptions()) },
+		"gavel":           func() sched.Scheduler { return gavel.New(gavel.Options{}) },
+		"tiresias":        func() sched.Scheduler { return tiresias.New(tiresias.DefaultOptions()) },
+		"yarn-cs":         func() sched.Scheduler { return yarncs.New() },
+		"allox":           func() sched.Scheduler { return allox.New() },
+		"ref-srtf-sticky": func() sched.Scheduler { return policy.New(policy.SRTF, true) },
+	}
+	for name, mk := range schedulers {
+		mk := mk
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			first := scheduleFingerprint(t, mk(), numJobs)
+			second := scheduleFingerprint(t, mk(), numJobs)
+			if len(first) != len(second) {
+				t.Fatalf("runs completed %d vs %d jobs", len(first), len(second))
+			}
+			for i := range first {
+				if first[i] != second[i] {
+					t.Errorf("job schedule differs between runs:\nrun 1: %s\nrun 2: %s",
+						first[i], second[i])
+				}
+			}
+		})
+	}
+}
+
+// scheduleFingerprint simulates a freshly generated seed trace under a
+// fresh scheduler and renders each job's schedule as one comparable
+// line. Trace generation is seeded, so two calls see identical inputs.
+func scheduleFingerprint(t *testing.T, s sched.Scheduler, numJobs int) []string {
+	t.Helper()
+	cfg := trace.DefaultConfig()
+	cfg.NumJobs = numJobs
+	jobs, err := trace.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := sim.Run(experiments.SimCluster(), jobs, s, sim.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make([]string, 0, len(r.Jobs))
+	for _, j := range r.Jobs {
+		out = append(out, fmt.Sprintf("job %d: start=%.9f finish=%.9f reallocs=%d",
+			j.ID, j.Start, j.Finish, j.Reallocations))
+	}
+	return out
+}

@@ -121,11 +121,8 @@ func (s *Scheduler) Schedule(ctx *sched.Context) map[int]cluster.Alloc {
 			continue
 		}
 		t := types[p.ri]
-		a, ok := sched.PlaceSingleType(free, t, st.Job.Workers)
+		a, ok := sched.AllocSingleType(free, t, st.Job.Workers)
 		if !ok {
-			continue
-		}
-		if err := free.Allocate(a); err != nil {
 			continue
 		}
 		out[st.Job.ID] = a

@@ -254,122 +254,5 @@ func (a Alloc) String() string {
 	return sb.String()
 }
 
-// State tracks free accelerators per (node, type) against a cluster's
-// capacities. It is the working object schedulers allocate from and the
-// simulator validates against.
-type State struct {
-	c    *Cluster
-	free [][]int // [node][type]
-}
-
-// NewState returns a fully free state for the cluster.
-func NewState(c *Cluster) *State {
-	s := &State{c: c, free: make([][]int, c.NumNodes())}
-	for i, node := range c.nodes {
-		s.free[i] = make([]int, gpu.NumTypes)
-		for t, count := range node.Capacity {
-			s.free[i][t] = count
-		}
-	}
-	return s
-}
-
-// Cluster returns the cluster this state tracks.
-func (s *State) Cluster() *Cluster { return s.c }
-
-// Free returns the free accelerator count on node id of type t.
-func (s *State) Free(id int, t gpu.Type) int { return s.free[id][t] }
-
-// FreeOfType returns the cluster-wide free count of type t.
-func (s *State) FreeOfType(t gpu.Type) int {
-	n := 0
-	for _, row := range s.free {
-		n += row[t]
-	}
-	return n
-}
-
-// TotalFree returns the cluster-wide free count across all types.
-func (s *State) TotalFree() int {
-	n := 0
-	for _, row := range s.free {
-		for _, c := range row {
-			n += c
-		}
-	}
-	return n
-}
-
-// Allocate removes the allocation's accelerators from the free pool. It
-// returns an error (and leaves the state unchanged) if any placement
-// exceeds the free count or names an invalid node.
-func (s *State) Allocate(a Alloc) error {
-	ca := a.Canonical()
-	for _, p := range ca {
-		if p.Node < 0 || p.Node >= len(s.free) {
-			return fmt.Errorf("cluster: placement on invalid node %d", p.Node)
-		}
-		if !p.Type.Valid() {
-			return fmt.Errorf("cluster: placement with invalid type %v", p.Type)
-		}
-		if s.free[p.Node][p.Type] < p.Count {
-			return fmt.Errorf("cluster: node %d has %d free %s, need %d",
-				p.Node, s.free[p.Node][p.Type], p.Type, p.Count)
-		}
-	}
-	for _, p := range ca {
-		s.free[p.Node][p.Type] -= p.Count
-	}
-	return nil
-}
-
-// Release returns the allocation's accelerators to the free pool. It
-// returns an error (and leaves the state unchanged) if releasing would
-// exceed a node's capacity, which indicates double-release.
-func (s *State) Release(a Alloc) error {
-	ca := a.Canonical()
-	for _, p := range ca {
-		if p.Node < 0 || p.Node >= len(s.free) {
-			return fmt.Errorf("cluster: release on invalid node %d", p.Node)
-		}
-		if s.free[p.Node][p.Type]+p.Count > s.c.Capacity(p.Node, p.Type) {
-			return fmt.Errorf("cluster: release of %d %s on node %d exceeds capacity",
-				p.Count, p.Type, p.Node)
-		}
-	}
-	for _, p := range ca {
-		s.free[p.Node][p.Type] += p.Count
-	}
-	return nil
-}
-
-// Clone returns an independent copy of the state (sharing the immutable
-// cluster).
-func (s *State) Clone() *State {
-	out := &State{c: s.c, free: make([][]int, len(s.free))}
-	for i, row := range s.free {
-		out.free[i] = append([]int(nil), row...)
-	}
-	return out
-}
-
-// Key returns a compact canonical signature of the free state, suitable
-// as a memoization key in Hadar's DP subroutine.
-func (s *State) Key() string {
-	var sb strings.Builder
-	sb.Grow(len(s.free) * 8)
-	for _, row := range s.free {
-		for _, c := range row {
-			// Free counts are small non-negative ints; a byte-ish varint
-			// keeps the key short. Counts >= 250 spill to two bytes.
-			if c < 250 {
-				sb.WriteByte(byte(c))
-			} else {
-				sb.WriteByte(250 + byte(c/250))
-				sb.WriteByte(byte(c % 250))
-			}
-		}
-		sb.WriteByte('|')
-	}
-	return sb.String()
-}
+// State (see state.go) tracks free accelerators per (node, type)
+// against a cluster's capacities.

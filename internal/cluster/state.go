@@ -1,0 +1,298 @@
+package cluster
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/gpu"
+)
+
+// State tracks free accelerators per (node, type) against a cluster's
+// capacities. It is the working object schedulers allocate from and the
+// simulator validates against.
+//
+// Free counts live in one flat []int32 indexed by node*gpu.NumTypes+type,
+// with cluster-wide per-type and total free counters and a 64-bit
+// Zobrist-style hash all maintained incrementally, so the scheduling
+// inner loop reads and memoizes allocation state without touching maps
+// or allocating.
+//
+// State additionally offers a transactional API for speculative
+// allocation (Hadar's DP branches on allocate-vs-skip thousands of times
+// per round): Savepoint opens a transaction, Rollback undoes every
+// Allocate/Release since the matching Savepoint, and Commit keeps them.
+// Savepoints nest with stack discipline — the most recent open savepoint
+// must be rolled back or committed first. A State is not safe for
+// concurrent use.
+type State struct {
+	c     *Cluster
+	free  []int32 // node*gpu.NumTypes + type
+	cap   []int32 // same layout; immutable after NewState
+	byType [gpu.NumTypes]int
+	total int
+	hash  uint64
+
+	// Undo journal, recorded only while at least one savepoint is open.
+	journal []journalEntry
+	marks   []int // journal length at each open savepoint
+
+	scratch []NodeFree // reusable placement-scan buffer
+}
+
+type journalEntry struct {
+	cell  int32
+	delta int32
+}
+
+const stride = int(gpu.NumTypes)
+
+// cellHash returns the Zobrist key of one (cell, count) pair: a
+// splitmix64-finalized mix of the flat cell index and its free count.
+// The state hash is the XOR of cellHash over all cells, so any single
+// count change updates it with two XORs.
+func cellHash(cell int, count int32) uint64 {
+	x := uint64(cell)<<32 ^ uint64(uint32(count))
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// NewState returns a fully free state for the cluster.
+func NewState(c *Cluster) *State {
+	n := c.NumNodes() * stride
+	s := &State{c: c, free: make([]int32, n), cap: make([]int32, n)}
+	for i, node := range c.nodes {
+		for t, count := range node.Capacity {
+			cell := i*stride + int(t)
+			s.free[cell] = int32(count)
+			s.cap[cell] = int32(count)
+			s.byType[t] += count
+			s.total += count
+		}
+	}
+	for cell, f := range s.free {
+		s.hash ^= cellHash(cell, f)
+	}
+	return s
+}
+
+// Cluster returns the cluster this state tracks.
+func (s *State) Cluster() *Cluster { return s.c }
+
+// Free returns the free accelerator count on node id of type t.
+func (s *State) Free(id int, t gpu.Type) int { return int(s.free[id*stride+int(t)]) }
+
+// FreeOfType returns the cluster-wide free count of type t.
+func (s *State) FreeOfType(t gpu.Type) int { return s.byType[t] }
+
+// TotalFree returns the cluster-wide free count across all types.
+func (s *State) TotalFree() int { return s.total }
+
+// Hash returns the incremental 64-bit signature of the free state. Two
+// states over same-shaped clusters with identical free counts hash
+// equal; unequal states collide with probability ~2^-64. It replaces
+// the string Key as the memoization key in Hadar's DP subroutine.
+func (s *State) Hash() uint64 { return s.hash }
+
+// NodeFree pairs a node ID with a free device count, for placement
+// scans.
+type NodeFree struct {
+	Node int
+	Free int
+}
+
+// FreeNodes appends to buf the nodes holding free devices of type t, in
+// ascending node order, and returns the extended slice. Pass a reused
+// buffer (or the state's Scratch) to keep scans allocation-free.
+func (s *State) FreeNodes(t gpu.Type, buf []NodeFree) []NodeFree {
+	if s.byType[t] == 0 {
+		return buf
+	}
+	for cell, n := int(t), 0; cell < len(s.free); cell, n = cell+stride, n+1 {
+		if f := s.free[cell]; f > 0 {
+			buf = append(buf, NodeFree{Node: n, Free: int(f)})
+		}
+	}
+	return buf
+}
+
+// Scratch returns the state's internal placement-scan buffer, emptied.
+// The buffer is shared: it is invalidated by the next Scratch call on
+// this state, so callers must finish with it before handing the state
+// to other placement code.
+func (s *State) Scratch() []NodeFree {
+	if s.scratch == nil {
+		s.scratch = make([]NodeFree, 0, s.c.NumNodes())
+	}
+	return s.scratch[:0]
+}
+
+// apply changes one cell by delta, maintaining the counters, the hash,
+// and (inside a transaction) the undo journal.
+func (s *State) apply(cell int, delta int32) {
+	old := s.free[cell]
+	now := old + delta
+	s.hash ^= cellHash(cell, old) ^ cellHash(cell, now)
+	s.free[cell] = now
+	s.byType[cell%stride] += int(delta)
+	s.total += int(delta)
+	if len(s.marks) > 0 {
+		s.journal = append(s.journal, journalEntry{cell: int32(cell), delta: delta})
+	}
+}
+
+// undo reverses one journal entry without re-journaling it.
+func (s *State) undo(e journalEntry) {
+	cell := int(e.cell)
+	old := s.free[cell]
+	now := old - e.delta
+	s.hash ^= cellHash(cell, old) ^ cellHash(cell, now)
+	s.free[cell] = now
+	s.byType[cell%stride] -= int(e.delta)
+	s.total -= int(e.delta)
+}
+
+// Savepoint opens a transaction and returns its token for Rollback or
+// Commit. Savepoints nest; close the innermost first.
+func (s *State) Savepoint() int {
+	s.marks = append(s.marks, len(s.journal))
+	return len(s.marks) - 1
+}
+
+// Rollback undoes every Allocate/Release since the savepoint and closes
+// it (and any savepoint nested inside it). It panics on an already
+// closed token, which indicates broken stack discipline.
+func (s *State) Rollback(sp int) {
+	if sp >= len(s.marks) {
+		panic(fmt.Sprintf("cluster: rollback of closed savepoint %d (open: %d)", sp, len(s.marks)))
+	}
+	mark := s.marks[sp]
+	for i := len(s.journal) - 1; i >= mark; i-- {
+		s.undo(s.journal[i])
+	}
+	s.journal = s.journal[:mark]
+	s.marks = s.marks[:sp]
+}
+
+// Commit keeps every change since the savepoint and closes it (and any
+// savepoint nested inside it). Changes remain undoable by an enclosing
+// savepoint. It panics on an already closed token.
+func (s *State) Commit(sp int) {
+	if sp >= len(s.marks) {
+		panic(fmt.Sprintf("cluster: commit of closed savepoint %d (open: %d)", sp, len(s.marks)))
+	}
+	s.marks = s.marks[:sp]
+	if len(s.marks) == 0 {
+		s.journal = s.journal[:0]
+	}
+}
+
+// Allocate removes the allocation's accelerators from the free pool. It
+// returns an error (and leaves the state unchanged) if any placement
+// exceeds the free count or names an invalid node or type.
+func (s *State) Allocate(a Alloc) error {
+	sp := s.Savepoint()
+	for _, p := range a {
+		if p.Count <= 0 {
+			continue
+		}
+		if p.Node < 0 || p.Node >= s.c.NumNodes() {
+			s.Rollback(sp)
+			return fmt.Errorf("cluster: placement on invalid node %d", p.Node)
+		}
+		if !p.Type.Valid() {
+			s.Rollback(sp)
+			return fmt.Errorf("cluster: placement with invalid type %v", p.Type)
+		}
+		cell := p.Node*stride + int(p.Type)
+		if int(s.free[cell]) < p.Count {
+			err := fmt.Errorf("cluster: node %d has %d free %s, need %d",
+				p.Node, s.free[cell], p.Type, p.Count)
+			s.Rollback(sp)
+			return err
+		}
+		s.apply(cell, int32(-p.Count))
+	}
+	s.Commit(sp)
+	return nil
+}
+
+// Release returns the allocation's accelerators to the free pool. It
+// returns an error (and leaves the state unchanged) if releasing would
+// exceed a node's capacity, which indicates double-release.
+func (s *State) Release(a Alloc) error {
+	sp := s.Savepoint()
+	for _, p := range a {
+		if p.Count <= 0 {
+			continue
+		}
+		if p.Node < 0 || p.Node >= s.c.NumNodes() {
+			s.Rollback(sp)
+			return fmt.Errorf("cluster: release on invalid node %d", p.Node)
+		}
+		if !p.Type.Valid() {
+			s.Rollback(sp)
+			return fmt.Errorf("cluster: release with invalid type %v", p.Type)
+		}
+		cell := p.Node*stride + int(p.Type)
+		if int(s.free[cell])+p.Count > int(s.cap[cell]) {
+			s.Rollback(sp)
+			return fmt.Errorf("cluster: release of %d %s on node %d exceeds capacity",
+				p.Count, p.Type, p.Node)
+		}
+		s.apply(cell, int32(p.Count))
+	}
+	s.Commit(sp)
+	return nil
+}
+
+// CanAllocate reports whether the allocation fits the current free
+// state, without changing it.
+func (s *State) CanAllocate(a Alloc) bool {
+	sp := s.Savepoint()
+	err := s.Allocate(a)
+	if err == nil {
+		s.Rollback(sp)
+	} else {
+		s.Commit(sp) // nothing applied; just close the savepoint
+	}
+	return err == nil
+}
+
+// Clone returns an independent copy of the state (sharing the immutable
+// cluster and capacity table). Open savepoints do not transfer: the
+// clone starts outside any transaction.
+func (s *State) Clone() *State {
+	out := &State{
+		c:      s.c,
+		free:   append([]int32(nil), s.free...),
+		cap:    s.cap,
+		byType: s.byType,
+		total:  s.total,
+		hash:   s.hash,
+	}
+	return out
+}
+
+// Key returns a compact canonical signature of the free state. Hash is
+// the cheaper replacement for hot paths; Key remains for debugging and
+// collision-free comparisons.
+func (s *State) Key() string {
+	var sb strings.Builder
+	sb.Grow(len(s.free) + s.c.NumNodes())
+	for i, c := range s.free {
+		// Free counts are small non-negative ints; a byte-ish varint
+		// keeps the key short. Counts >= 250 spill to two bytes.
+		if c < 250 {
+			sb.WriteByte(byte(c))
+		} else {
+			sb.WriteByte(250 + byte(c/250))
+			sb.WriteByte(byte(c % 250))
+		}
+		if (i+1)%stride == 0 {
+			sb.WriteByte('|')
+		}
+	}
+	return sb.String()
+}

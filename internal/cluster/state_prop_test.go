@@ -1,0 +1,286 @@
+package cluster
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/gpu"
+)
+
+// These tests exercise the transactional State as a black box driven by
+// op scripts, checking after every step that the incrementally
+// maintained counters and hash agree with a from-scratch recompute, and
+// that any interleaving of Allocate/Release/Savepoint/Rollback/Commit
+// round-trips exactly to the free counts it started from.
+
+// checkCounters recomputes byType, total, and the Zobrist hash from the
+// flat free array and compares them to the incrementally maintained
+// values.
+func checkCounters(t *testing.T, s *State) {
+	t.Helper()
+	var byType [gpu.NumTypes]int
+	total := 0
+	var hash uint64
+	for cell, f := range s.free {
+		if f < 0 || f > s.cap[cell] {
+			t.Fatalf("cell %d free %d out of range [0, %d]", cell, f, s.cap[cell])
+		}
+		byType[cell%stride] += int(f)
+		total += int(f)
+		hash ^= cellHash(cell, f)
+	}
+	if byType != s.byType {
+		t.Fatalf("byType drifted: incremental %v, recomputed %v", s.byType, byType)
+	}
+	if total != s.total {
+		t.Fatalf("total drifted: incremental %d, recomputed %d", s.total, total)
+	}
+	if hash != s.hash {
+		t.Fatalf("hash drifted: incremental %#x, recomputed %#x", s.hash, hash)
+	}
+}
+
+// frame snapshots everything a savepoint must restore on rollback.
+type frame struct {
+	sp   int
+	key  string
+	hash uint64
+	held []Alloc // copy of the held list at savepoint time
+}
+
+// scriptCluster is deliberately heterogeneous: uneven per-node fleets,
+// including a node with zero devices of some types.
+func scriptCluster() *Cluster {
+	return New(
+		gpu.Fleet{gpu.V100: 4, gpu.P100: 2},
+		gpu.Fleet{gpu.V100: 4},
+		gpu.Fleet{gpu.P100: 3, gpu.K80: 1, gpu.T4: 2},
+		gpu.Fleet{gpu.K520: 4},
+	)
+}
+
+// runStateScript interprets data as a sequence of state operations and
+// checks every invariant along the way. It is shared by the fuzz target
+// and the seeded property test.
+func runStateScript(t *testing.T, data []byte) {
+	c := scriptCluster()
+	s := NewState(c)
+	initKey, initHash := s.Key(), s.Hash()
+
+	next := func() byte {
+		if len(data) == 0 {
+			return 0
+		}
+		b := data[0]
+		data = data[1:]
+		return b
+	}
+	randomAlloc := func() Alloc {
+		n := int(next())%3 + 1
+		a := make(Alloc, 0, n)
+		for i := 0; i < n; i++ {
+			a = append(a, Placement{
+				Node:  int(next()) % (c.NumNodes() + 1), // may be invalid
+				Type:  gpu.Type(int(next()) % (int(gpu.NumTypes) + 1)),
+				Count: int(next())%6 - 1, // -1..4; <=0 entries must be ignored
+			})
+		}
+		return a
+	}
+
+	var stack []frame
+	var held []Alloc // allocations currently applied, in apply order
+	for len(data) > 0 {
+		switch next() % 9 {
+		case 0, 1, 2: // Allocate
+			a := randomAlloc()
+			before := s.Hash()
+			if err := s.Allocate(a); err != nil {
+				if s.Hash() != before {
+					t.Fatalf("failed Allocate mutated state: %v", err)
+				}
+			} else {
+				held = append(held, a)
+			}
+		case 3, 4: // Release a held allocation
+			if len(held) == 0 {
+				continue
+			}
+			i := int(next()) % len(held)
+			if err := s.Release(held[i]); err != nil {
+				t.Fatalf("release of held allocation failed: %v", err)
+			}
+			held = append(held[:i], held[i+1:]...)
+		case 5: // Release something arbitrary (usually over capacity)
+			a := randomAlloc()
+			before := s.Hash()
+			if err := s.Release(a); err != nil {
+				if s.Hash() != before {
+					t.Fatalf("failed Release mutated state: %v", err)
+				}
+			} else {
+				// Legitimately released capacity someone held: balance the
+				// books by immediately re-allocating (must fit: we just
+				// freed it).
+				if err := s.Allocate(a); err != nil {
+					t.Fatalf("re-allocate after arbitrary release failed: %v", err)
+				}
+			}
+		case 6: // Savepoint
+			stack = append(stack, frame{
+				sp:   s.Savepoint(),
+				key:  s.Key(),
+				hash: s.Hash(),
+				held: append([]Alloc(nil), held...),
+			})
+		case 7: // Rollback innermost
+			if len(stack) == 0 {
+				continue
+			}
+			f := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			s.Rollback(f.sp)
+			if s.Key() != f.key || s.Hash() != f.hash {
+				t.Fatalf("rollback did not restore savepoint state:\nkey  %q -> %q\nhash %#x -> %#x",
+					f.key, s.Key(), f.hash, s.Hash())
+			}
+			held = f.held
+		case 8: // Commit innermost (state must be untouched)
+			if len(stack) == 0 {
+				continue
+			}
+			f := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			key, hash := s.Key(), s.Hash()
+			s.Commit(f.sp)
+			if s.Key() != key || s.Hash() != hash {
+				t.Fatal("commit changed the free state")
+			}
+		}
+		checkCounters(t, s)
+	}
+
+	// Close every open transaction (innermost first), then return every
+	// held allocation: the state must round-trip to fully free.
+	for len(stack) > 0 {
+		f := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		s.Rollback(f.sp)
+		held = f.held
+		checkCounters(t, s)
+	}
+	for _, a := range held {
+		if err := s.Release(a); err != nil {
+			t.Fatalf("final release failed: %v", err)
+		}
+	}
+	checkCounters(t, s)
+	if s.Key() != initKey || s.Hash() != initHash {
+		t.Fatalf("state did not round-trip to initial:\nkey  %q -> %q\nhash %#x -> %#x",
+			initKey, s.Key(), initHash, s.Hash())
+	}
+	if s.TotalFree() != c.TotalGPUs() {
+		t.Fatalf("TotalFree = %d after round-trip, want %d", s.TotalFree(), c.TotalGPUs())
+	}
+}
+
+// TestStateTransactionProperty drives runStateScript with pseudo-random
+// scripts across many seeds, so the interleaving property holds in
+// plain `go test` runs without the fuzzing engine.
+func TestStateTransactionProperty(t *testing.T) {
+	scripts := 64
+	if testing.Short() {
+		scripts = 8
+	}
+	for seed := 0; seed < scripts; seed++ {
+		rng := rand.New(rand.NewSource(int64(seed)))
+		data := make([]byte, 40+rng.Intn(600))
+		rng.Read(data)
+		runStateScript(t, data)
+	}
+}
+
+// FuzzStateTransactions lets `go test -fuzz=FuzzStateTransactions`
+// search for op interleavings that break the transactional invariants.
+func FuzzStateTransactions(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{6, 0, 0, 1, 2, 7})                   // savepoint, alloc, rollback
+	f.Add([]byte{0, 1, 0, 0, 3, 6, 0, 2, 1, 1, 8})    // alloc, release, savepoint, alloc, commit
+	f.Add([]byte{6, 6, 0, 0, 0, 4, 8, 7, 5, 9, 9, 9}) // nested savepoints
+	f.Fuzz(func(t *testing.T, data []byte) {
+		runStateScript(t, data)
+	})
+}
+
+// TestStateHashMatchesKey checks on random walks that the 64-bit Hash
+// and the canonical string Key agree on equality: states reached by
+// different operation orders but with identical free counts must share
+// both, and distinct Keys must (for these cases) produce distinct
+// Hashes.
+func TestStateHashMatchesKey(t *testing.T) {
+	c := scriptCluster()
+	rng := rand.New(rand.NewSource(7))
+	seen := map[string]uint64{}
+	for i := 0; i < 400; i++ {
+		s := NewState(c)
+		for steps := rng.Intn(6); steps > 0; steps-- {
+			node := rng.Intn(c.NumNodes())
+			typ := gpu.Type(rng.Intn(int(gpu.NumTypes)))
+			count := rng.Intn(3) + 1
+			// Ignore failures; we only care about whatever state results.
+			_ = s.Allocate(Alloc{{Node: node, Type: typ, Count: count}})
+		}
+		key, hash := s.Key(), s.Hash()
+		if prev, ok := seen[key]; ok {
+			if prev != hash {
+				t.Fatalf("same Key %q, different Hash %#x vs %#x", key, prev, hash)
+			}
+			continue
+		}
+		for otherKey, otherHash := range seen {
+			if otherHash == hash {
+				t.Fatalf("Hash collision %#x between Keys %q and %q", hash, key, otherKey)
+			}
+		}
+		seen[key] = hash
+	}
+}
+
+// TestSavepointStackDiscipline pins the misuse behavior: closing a
+// savepoint twice panics rather than corrupting the state.
+func TestSavepointStackDiscipline(t *testing.T) {
+	s := NewState(scriptCluster())
+	sp := s.Savepoint()
+	s.Rollback(sp)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("rollback of a closed savepoint did not panic")
+		}
+	}()
+	s.Rollback(sp)
+}
+
+// TestRollbackClosesNestedSavepoints pins that rolling back an outer
+// savepoint also closes (and undoes) savepoints nested inside it.
+func TestRollbackClosesNestedSavepoints(t *testing.T) {
+	c := scriptCluster()
+	s := NewState(c)
+	outer := s.Savepoint()
+	if err := s.Allocate(Alloc{{Node: 0, Type: gpu.V100, Count: 2}}); err != nil {
+		t.Fatal(err)
+	}
+	inner := s.Savepoint()
+	if err := s.Allocate(Alloc{{Node: 1, Type: gpu.V100, Count: 1}}); err != nil {
+		t.Fatal(err)
+	}
+	s.Rollback(outer)
+	if s.TotalFree() != c.TotalGPUs() {
+		t.Fatalf("outer rollback left %d free, want %d", s.TotalFree(), c.TotalGPUs())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("inner savepoint survived outer rollback")
+		}
+	}()
+	s.Rollback(inner)
+}

@@ -1,8 +1,6 @@
 package core
 
 import (
-	"sort"
-
 	"repro/internal/cluster"
 	"repro/internal/gpu"
 	"repro/internal/sched"
@@ -19,24 +17,31 @@ type candidate struct {
 
 // findAlloc is the paper's FIND_ALLOC subroutine (Algorithm 2, lines
 // 22-34): generate consolidated ("packed") and consolidation-independent
-// allocations over the GPU types sorted by the job's throughput, price
+// allocations over the GPU types sorted by the job's throughput (the
+// caller passes sched.UsableTypes(j), precomputed once per round), price
 // each against the current dual prices (adding a communication surcharge
 // for multi-server allocations), and return the highest-payoff option.
 // ok is false only when no feasible allocation exists at all; the
 // admission filter mu_j > 0 is applied by the caller (the backfill pass
 // deliberately ignores it).
-func (s *Scheduler) findAlloc(st *sched.JobState, ctx *sched.Context, free *cluster.State, pt *priceTable) (candidate, bool) {
+//
+// This is the per-round hot path: Hadar's DP calls it once per visited
+// search node. Candidate placements are built in the scheduler's
+// placement arena and candidate list, both reused across calls, so a
+// call performs no heap allocation beyond the one canonical copy of the
+// winning allocation it returns.
+func (s *Scheduler) findAlloc(st *sched.JobState, ctx *sched.Context, free *cluster.State, pt *priceTable, types []gpu.Type) (candidate, bool) {
 	j := st.Job
-	types := sched.UsableTypes(j)
-	var cands []cluster.Alloc
+	cands := s.candScratch[:0]
+	arena := s.arena[:0]
 
 	// Single-type allocations: one candidate per usable type, on the
 	// cheapest nodes; plus the maximally consolidated variant.
 	for _, t := range types {
-		if a, ok := s.fillTypes(free, pt, j.Workers, []gpu.Type{t}); ok {
+		if a, ok := s.fillOneType(&arena, free, pt, j.Workers, t); ok {
 			cands = append(cands, a)
 		}
-		if a, ok := sched.PlaceSingleType(free, t, j.Workers); ok {
+		if a, ok := appendSingleType(&arena, free, t, j.Workers); ok {
 			cands = append(cands, a)
 		}
 	}
@@ -46,7 +51,7 @@ func (s *Scheduler) findAlloc(st *sched.JobState, ctx *sched.Context, free *clus
 	// has enough free devices (or when mixing is simply cheaper).
 	if s.opts.TaskLevel {
 		for k := 2; k <= len(types); k++ {
-			if a, ok := s.fillTypes(free, pt, j.Workers, types[:k]); ok {
+			if a, ok := s.fillTypes(&arena, free, pt, j.Workers, types[:k]); ok {
 				cands = append(cands, a)
 			}
 		}
@@ -56,15 +61,15 @@ func (s *Scheduler) findAlloc(st *sched.JobState, ctx *sched.Context, free *clus
 	// round's state starts fully free) at a discounted cost, so
 	// unchanged allocations win ties and checkpoint churn stays low.
 	current := -1
-	if st.Running() {
-		if err := free.Clone().Allocate(st.Alloc); err == nil {
-			current = len(cands)
-			cands = append(cands, st.Alloc)
-		}
+	if st.Running() && free.CanAllocate(st.Alloc) {
+		current = len(cands)
+		cands = append(cands, st.Alloc)
 	}
+	s.candScratch = cands
+	s.arena = arena
 
+	bestIdx := -1
 	var best candidate
-	found := false
 	for i, a := range cands {
 		rate := sched.Rate(j, ctx.Cluster, a)
 		if rate <= 0 {
@@ -76,79 +81,226 @@ func (s *Scheduler) findAlloc(st *sched.JobState, ctx *sched.Context, free *clus
 		}
 		duration := age + st.Remaining/rate
 		utility := s.opts.Utility.Value(j, st.Remaining, duration)
+		// Cost and node count read the raw placement list: candidate
+		// generators emit at most one placement per (node, type) and no
+		// zero counts, and both quantities are additive over duplicates
+		// anyway, so skipping Canonical here cannot change them.
 		cost := 0.0
-		for _, p := range a.Canonical() {
+		for _, p := range a {
 			cost += pt.price(free, p.Node, p.Type) * float64(p.Count)
 		}
-		if n := a.NumNodes(); n > 1 {
+		if n := distinctNodes(a); n > 1 {
 			cost *= 1 + s.opts.CommCost*float64(n-1)
 		}
 		if i == current {
 			cost *= 1 - s.opts.Stickiness
 		}
 		payoff := utility - cost
-		if !found || payoff > best.payoff {
-			best = candidate{alloc: a.Canonical(), rate: rate, cost: cost, payoff: payoff}
-			found = true
+		if bestIdx < 0 || payoff > best.payoff {
+			best = candidate{rate: rate, cost: cost, payoff: payoff}
+			bestIdx = i
 		}
 	}
-	return best, found
+	if bestIdx < 0 {
+		return candidate{}, false
+	}
+	// The winner leaves the arena as an independent canonical copy; the
+	// arena itself is recycled by the next call.
+	best.alloc = canonicalize(cands[bestIdx])
+	return best, true
+}
+
+// distinctNodes counts the distinct nodes of a placement list without
+// allocating (allocations span few placements, so the quadratic scan is
+// cheaper than a map).
+func distinctNodes(a cluster.Alloc) int {
+	n := 0
+	for i, p := range a {
+		if p.Count == 0 {
+			continue
+		}
+		seen := false
+		for _, q := range a[:i] {
+			if q.Count > 0 && q.Node == p.Node {
+				seen = true
+				break
+			}
+		}
+		if !seen {
+			n++
+		}
+	}
+	return n
+}
+
+// canonicalize returns an independent canonical copy of a: zero counts
+// dropped, same-(node,type) entries merged, sorted by (node, type). It
+// matches Alloc.Canonical for the non-negative placement lists the
+// candidate generators emit, without the intermediate map.
+func canonicalize(a cluster.Alloc) cluster.Alloc {
+	out := make(cluster.Alloc, 0, len(a))
+	for _, p := range a {
+		if p.Count > 0 {
+			out = append(out, p)
+		}
+	}
+	// Insertion sort by (node, type): placement lists are short.
+	for i := 1; i < len(out); i++ {
+		for k := i; k > 0 && (out[k].Node < out[k-1].Node ||
+			(out[k].Node == out[k-1].Node && out[k].Type < out[k-1].Type)); k-- {
+			out[k], out[k-1] = out[k-1], out[k]
+		}
+	}
+	// Merge adjacent duplicates in place.
+	w := 0
+	for _, p := range out {
+		if w > 0 && out[w-1].Node == p.Node && out[w-1].Type == p.Type {
+			out[w-1].Count += p.Count
+			continue
+		}
+		out[w] = p
+		w++
+	}
+	return out[:w]
+}
+
+// fillOption is one candidate node in fillTypes's price-ordered scan.
+type fillOption struct {
+	node  int
+	price float64
+	speed float64
+	avail int
+}
+
+// appendSingleType is sched.PlaceSingleType building its placements in
+// the shared arena: the returned Alloc aliases arena storage and is
+// only valid until the arena is recycled.
+func appendSingleType(arena *[]cluster.Placement, free *cluster.State, t gpu.Type, w int) (cluster.Alloc, bool) {
+	if free.FreeOfType(t) < w {
+		return nil, false
+	}
+	mark := len(*arena)
+	nodes := free.FreeNodes(t, free.Scratch())
+	sortMostFree(nodes)
+	need := w
+	for _, n := range nodes {
+		take := n.Free
+		if take > need {
+			take = need
+		}
+		*arena = append(*arena, cluster.Placement{Node: n.Node, Type: t, Count: take})
+		if need -= take; need == 0 {
+			break
+		}
+	}
+	return carve(arena, mark), true
+}
+
+// sortMostFree orders a node scan by descending free count, ties by
+// ascending node ID — PlaceSingleType's consolidation order — with an
+// allocation-free insertion sort (scans are at most one entry per
+// node).
+func sortMostFree(nodes []cluster.NodeFree) {
+	for i := 1; i < len(nodes); i++ {
+		for k := i; k > 0 && (nodes[k].Free > nodes[k-1].Free ||
+			(nodes[k].Free == nodes[k-1].Free && nodes[k].Node < nodes[k-1].Node)); k-- {
+			nodes[k], nodes[k-1] = nodes[k-1], nodes[k]
+		}
+	}
+}
+
+// carve returns the arena's tail beyond mark as an independent-length
+// allocation. The full slice expression caps it so later arena appends
+// can never write through it.
+func carve(arena *[]cluster.Placement, mark int) cluster.Alloc {
+	a := *arena
+	return cluster.Alloc(a[mark:len(a):len(a)])
+}
+
+// fillOneType is fillTypes for a single type, avoiding the one-element
+// slice the multi-type signature would need.
+func (s *Scheduler) fillOneType(arena *[]cluster.Placement, free *cluster.State, pt *priceTable, workers int, t gpu.Type) (cluster.Alloc, bool) {
+	mark := len(*arena)
+	if need := s.fillType(arena, free, pt, workers, t); need > 0 {
+		*arena = (*arena)[:mark]
+		return nil, false
+	}
+	return carve(arena, mark), true
 }
 
 // fillTypes builds an allocation of exactly workers devices drawn from
 // the given types (earlier types preferred), choosing nodes by ascending
 // dual price, then descending node speed, then descending free count.
-// ok is false if the types jointly lack free capacity.
-func (s *Scheduler) fillTypes(free *cluster.State, pt *priceTable, workers int, types []gpu.Type) (cluster.Alloc, bool) {
-	var out cluster.Alloc
+// ok is false if the types jointly lack free capacity. Placements land
+// in the shared arena; the node scan sorts in the scheduler's scratch
+// buffer, reused across all FIND_ALLOC calls of a round.
+func (s *Scheduler) fillTypes(arena *[]cluster.Placement, free *cluster.State, pt *priceTable, workers int, types []gpu.Type) (cluster.Alloc, bool) {
+	mark := len(*arena)
 	need := workers
 	for _, t := range types {
-		if need == 0 {
+		if need = s.fillType(arena, free, pt, need, t); need == 0 {
 			break
-		}
-		type option struct {
-			node  int
-			price float64
-			speed float64
-			avail int
-		}
-		var opts []option
-		for id := 0; id < free.Cluster().NumNodes(); id++ {
-			if f := free.Free(id, t); f > 0 {
-				opts = append(opts, option{
-					node:  id,
-					price: pt.price(free, id, t),
-					speed: free.Cluster().Speed(id),
-					avail: f,
-				})
-			}
-		}
-		sort.Slice(opts, func(a, b int) bool {
-			if opts[a].price != opts[b].price {
-				return opts[a].price < opts[b].price
-			}
-			if opts[a].speed != opts[b].speed {
-				return opts[a].speed > opts[b].speed
-			}
-			if opts[a].avail != opts[b].avail {
-				return opts[a].avail > opts[b].avail
-			}
-			return opts[a].node < opts[b].node
-		})
-		for _, o := range opts {
-			if need == 0 {
-				break
-			}
-			take := o.avail
-			if take > need {
-				take = need
-			}
-			out = append(out, cluster.Placement{Node: o.node, Type: t, Count: take})
-			need -= take
 		}
 	}
 	if need > 0 {
+		*arena = (*arena)[:mark]
 		return nil, false
 	}
-	return out, true
+	return carve(arena, mark), true
+}
+
+// fillType appends up to need devices of type t in price order and
+// returns the unmet need.
+func (s *Scheduler) fillType(arena *[]cluster.Placement, free *cluster.State, pt *priceTable, need int, t gpu.Type) int {
+	if need == 0 || free.FreeOfType(t) == 0 {
+		return need
+	}
+	opts := s.fillScratch[:0]
+	for id := 0; id < free.Cluster().NumNodes(); id++ {
+		if f := free.Free(id, t); f > 0 {
+			opts = append(opts, fillOption{
+				node:  id,
+				price: pt.price(free, id, t),
+				speed: free.Cluster().Speed(id),
+				avail: f,
+			})
+		}
+	}
+	s.fillScratch = opts
+	sortByPrice(opts)
+	for _, o := range opts {
+		if need == 0 {
+			break
+		}
+		take := o.avail
+		if take > need {
+			take = need
+		}
+		*arena = append(*arena, cluster.Placement{Node: o.node, Type: t, Count: take})
+		need -= take
+	}
+	return need
+}
+
+// sortByPrice orders fill options by ascending dual price, then
+// descending node speed, then descending free count, then ascending
+// node ID, with an allocation-free insertion sort.
+func sortByPrice(opts []fillOption) {
+	less := func(a, b fillOption) bool {
+		if a.price != b.price {
+			return a.price < b.price
+		}
+		if a.speed != b.speed {
+			return a.speed > b.speed
+		}
+		if a.avail != b.avail {
+			return a.avail > b.avail
+		}
+		return a.node < b.node
+	}
+	for i := 1; i < len(opts); i++ {
+		for k := i; k > 0 && less(opts[k], opts[k-1]); k-- {
+			opts[k], opts[k-1] = opts[k-1], opts[k]
+		}
+	}
 }

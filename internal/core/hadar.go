@@ -3,11 +3,18 @@ package core
 import (
 	"fmt"
 	"sort"
-	"strconv"
 
 	"repro/internal/cluster"
+	"repro/internal/gpu"
 	"repro/internal/sched"
 )
+
+// PanicOnInconsistency, when true, turns internal allocation
+// inconsistencies (a candidate that no longer fits the free state the
+// scheduler itself maintains) into panics instead of silently skipped
+// decisions. Tests enable it so placement bugs fail loudly; production
+// keeps it off and reads Scheduler.Inconsistencies instead.
+var PanicOnInconsistency bool
 
 // Options configures the Hadar scheduler. The zero value is not valid;
 // use DefaultOptions.
@@ -76,6 +83,18 @@ func DefaultOptions() Options {
 type Scheduler struct {
 	opts      Options
 	lastAlpha float64
+	// inconsistencies counts internal allocation failures: decisions the
+	// dual subroutine produced that did not fit the free state it was
+	// itself tracking. Always 0 unless there is a placement bug.
+	inconsistencies int
+	// Reusable FIND_ALLOC working storage (the scheduler is documented
+	// as not safe for concurrent use): fillScratch is the node-scan
+	// buffer fillTypes sorts candidate nodes in, arena is the backing
+	// store candidate placements are carved from, and candScratch is the
+	// candidate list itself. All are recycled on every findAlloc call.
+	fillScratch []fillOption
+	arena       []cluster.Placement
+	candScratch []cluster.Alloc
 }
 
 // New builds a Hadar scheduler. It panics on invalid options so
@@ -100,6 +119,21 @@ func (s *Scheduler) Name() string { return "hadar" + s.opts.NameSuffix }
 // the most recent round's price bounds; Hadar is 2*alpha competitive.
 func (s *Scheduler) LastAlpha() float64 { return s.lastAlpha }
 
+// Inconsistencies returns how many internal allocation failures the
+// scheduler has swallowed across its lifetime. Nonzero values indicate
+// a placement bug: a candidate won the dual subroutine but no longer
+// fit the very free state the subroutine priced it against.
+func (s *Scheduler) Inconsistencies() int { return s.inconsistencies }
+
+// noteInconsistency records (or, under PanicOnInconsistency, raises) an
+// internal allocation failure.
+func (s *Scheduler) noteInconsistency(err error) {
+	s.inconsistencies++
+	if PanicOnInconsistency {
+		panic(fmt.Errorf("core: inconsistent allocation decision: %w", err))
+	}
+}
+
 // Schedule implements sched.Scheduler.
 func (s *Scheduler) Schedule(ctx *sched.Context) map[int]cluster.Alloc {
 	out := make(map[int]cluster.Alloc)
@@ -110,27 +144,36 @@ func (s *Scheduler) Schedule(ctx *sched.Context) map[int]cluster.Alloc {
 	s.lastAlpha = pt.alpha()
 
 	queue := s.orderQueue(ctx)
+	// Usable-type lists are a function of the immutable job alone;
+	// compute them once per round instead of once per FIND_ALLOC call.
+	jobTypes := make([][]gpu.Type, len(queue))
+	for i, st := range queue {
+		jobTypes[i] = sched.UsableTypes(st.Job)
+	}
 	if len(queue) <= s.opts.DPJobLimit {
-		s.dpAllocate(ctx, queue, pt, out)
+		s.dpAllocate(ctx, queue, jobTypes, pt, out)
 	} else {
-		s.greedyAllocate(ctx, queue, pt, out)
+		s.greedyAllocate(ctx, queue, jobTypes, pt, out)
 	}
 	if s.opts.Backfill {
-		s.backfill(ctx, queue, pt, out)
+		s.backfill(ctx, queue, jobTypes, pt, out)
 	}
 	return out
 }
 
 // backfill offers leftover devices to jobs the payoff filter rejected,
 // in the same priority order, making the schedule work-conserving.
-func (s *Scheduler) backfill(ctx *sched.Context, queue []*sched.JobState, pt *priceTable, out map[int]cluster.Alloc) {
+func (s *Scheduler) backfill(ctx *sched.Context, queue []*sched.JobState, jobTypes [][]gpu.Type, pt *priceTable, out map[int]cluster.Alloc) {
 	free := cluster.NewState(ctx.Cluster)
 	for _, a := range out {
 		if err := free.Allocate(a); err != nil {
-			return // inconsistent decision; leave as-is
+			// The primal-dual pass produced jointly infeasible decisions;
+			// surface the bug and leave the decisions as-is.
+			s.noteInconsistency(err)
+			return
 		}
 	}
-	for _, st := range queue {
+	for i, st := range queue {
 		if st.Remaining <= 0 {
 			continue
 		}
@@ -140,11 +183,12 @@ func (s *Scheduler) backfill(ctx *sched.Context, queue []*sched.JobState, pt *pr
 		if free.TotalFree() < st.Job.Workers {
 			continue
 		}
-		cand, ok := s.findAlloc(st, ctx, free, pt)
+		cand, ok := s.findAlloc(st, ctx, free, pt, jobTypes[i])
 		if !ok {
 			continue
 		}
 		if err := free.Allocate(cand.alloc); err != nil {
+			s.noteInconsistency(err)
 			continue
 		}
 		out[st.Job.ID] = cand.alloc
@@ -188,18 +232,19 @@ func (s *Scheduler) orderQueue(ctx *sched.Context) []*sched.JobState {
 // greedyAllocate is the large-queue path: one pass in payoff-density
 // order, allocating each positive-payoff job at its best candidate and
 // repricing as capacity fills.
-func (s *Scheduler) greedyAllocate(ctx *sched.Context, queue []*sched.JobState, pt *priceTable, out map[int]cluster.Alloc) {
+func (s *Scheduler) greedyAllocate(ctx *sched.Context, queue []*sched.JobState, jobTypes [][]gpu.Type, pt *priceTable, out map[int]cluster.Alloc) {
 	free := cluster.NewState(ctx.Cluster)
-	for _, st := range queue {
+	for i, st := range queue {
 		if st.Remaining <= 0 {
 			continue
 		}
-		cand, ok := s.findAlloc(st, ctx, free, pt)
+		cand, ok := s.findAlloc(st, ctx, free, pt, jobTypes[i])
 		if !ok || cand.payoff <= 0 {
 			continue // admission filter mu_j > 0
 		}
 		if err := free.Allocate(cand.alloc); err != nil {
-			continue // raced placement; skip defensively
+			s.noteInconsistency(err)
+			continue
 		}
 		out[st.Job.ID] = cand.alloc
 	}
@@ -207,21 +252,27 @@ func (s *Scheduler) greedyAllocate(ctx *sched.Context, queue []*sched.JobState, 
 
 // dpAllocate is Algorithm 2's dynamic program: for each job in order,
 // branch on "allocate its best candidate" vs "skip", memoizing on
-// (queue index, free-state signature), and keep the branch with the
-// larger total payoff (equivalently, minimum cost for the chosen
-// utility).
-func (s *Scheduler) dpAllocate(ctx *sched.Context, queue []*sched.JobState, pt *priceTable, out map[int]cluster.Alloc) {
+// (queue index, free-state hash), and keep the branch with the larger
+// total payoff (equivalently, minimum cost for the chosen utility).
+// Branches mutate one shared State under a savepoint and roll it back,
+// so the search allocates nothing per visited node beyond the memo
+// entries themselves.
+func (s *Scheduler) dpAllocate(ctx *sched.Context, queue []*sched.JobState, jobTypes [][]gpu.Type, pt *priceTable, out map[int]cluster.Alloc) {
 	type result struct {
 		payoff float64
 		picks  []pick
 	}
-	memo := make(map[string]result)
+	type memoKey struct {
+		idx  int
+		hash uint64
+	}
+	memo := make(map[memoKey]result)
 	var rec func(idx int, free *cluster.State) result
 	rec = func(idx int, free *cluster.State) result {
 		if idx >= len(queue) || free.TotalFree() == 0 {
 			return result{}
 		}
-		key := strconv.Itoa(idx) + ":" + free.Key()
+		key := memoKey{idx: idx, hash: free.Hash()}
 		if r, ok := memo[key]; ok {
 			return r
 		}
@@ -230,10 +281,12 @@ func (s *Scheduler) dpAllocate(ctx *sched.Context, queue []*sched.JobState, pt *
 		// Branch 2: allocate this job at its best candidate.
 		st := queue[idx]
 		if st.Remaining > 0 {
-			if cand, ok := s.findAlloc(st, ctx, free, pt); ok && cand.payoff > 0 {
-				withState := free.Clone()
-				if err := withState.Allocate(cand.alloc); err == nil {
-					sub := rec(idx+1, withState)
+			if cand, ok := s.findAlloc(st, ctx, free, pt, jobTypes[idx]); ok && cand.payoff > 0 {
+				sp := free.Savepoint()
+				if err := free.Allocate(cand.alloc); err != nil {
+					s.noteInconsistency(err)
+				} else {
+					sub := rec(idx+1, free)
 					total := cand.payoff + sub.payoff
 					if total > best.payoff {
 						picks := make([]pick, 0, len(sub.picks)+1)
@@ -242,6 +295,7 @@ func (s *Scheduler) dpAllocate(ctx *sched.Context, queue []*sched.JobState, pt *
 						best = result{payoff: total, picks: picks}
 					}
 				}
+				free.Rollback(sp)
 			}
 		}
 		memo[key] = best

@@ -1,0 +1,54 @@
+package core
+
+import (
+	"errors"
+	"os"
+	"strings"
+	"testing"
+)
+
+// TestMain turns swallowed allocation inconsistencies into panics for
+// the whole package's tests: every Schedule call exercised anywhere in
+// these tests doubles as an assertion that the dual subroutine never
+// produces a decision that does not fit its own free state.
+func TestMain(m *testing.M) {
+	PanicOnInconsistency = true
+	os.Exit(m.Run())
+}
+
+// TestNoteInconsistencyCounts pins the production behavior: with the
+// panic hook off, inconsistencies increment the counter and scheduling
+// carries on.
+func TestNoteInconsistencyCounts(t *testing.T) {
+	PanicOnInconsistency = false
+	defer func() { PanicOnInconsistency = true }()
+	s := New(DefaultOptions())
+	if got := s.Inconsistencies(); got != 0 {
+		t.Fatalf("fresh scheduler reports %d inconsistencies", got)
+	}
+	s.noteInconsistency(errors.New("synthetic failure"))
+	s.noteInconsistency(errors.New("another"))
+	if got := s.Inconsistencies(); got != 2 {
+		t.Fatalf("Inconsistencies() = %d, want 2", got)
+	}
+}
+
+// TestNoteInconsistencyPanicHook pins the test-mode behavior: with the
+// hook on, the first inconsistency panics with the underlying error.
+func TestNoteInconsistencyPanicHook(t *testing.T) {
+	s := New(DefaultOptions())
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("noteInconsistency did not panic under PanicOnInconsistency")
+		}
+		err, ok := r.(error)
+		if !ok || !strings.Contains(err.Error(), "synthetic failure") {
+			t.Fatalf("panic value %v does not wrap the allocation error", r)
+		}
+		if got := s.Inconsistencies(); got != 1 {
+			t.Fatalf("Inconsistencies() = %d after panic, want 1", got)
+		}
+	}()
+	s.noteInconsistency(errors.New("synthetic failure"))
+}

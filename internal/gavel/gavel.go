@@ -113,11 +113,8 @@ func (s *Scheduler) Schedule(ctx *sched.Context) map[int]cluster.Alloc {
 		if _, done := out[p.st.Job.ID]; done {
 			continue
 		}
-		a, ok := sched.PlaceSingleType(free, p.t, p.st.Job.Workers)
+		a, ok := sched.AllocSingleType(free, p.t, p.st.Job.Workers)
 		if !ok {
-			continue
-		}
-		if err := free.Allocate(a); err != nil {
 			continue
 		}
 		out[p.st.Job.ID] = a

@@ -102,17 +102,13 @@ func (s *Scheduler) Schedule(ctx *sched.Context) map[int]cluster.Alloc {
 			continue
 		}
 		if s.sticky && st.Running() {
-			if err := free.Clone().Allocate(st.Alloc); err == nil {
-				if err := free.Allocate(st.Alloc); err == nil {
-					out[st.Job.ID] = st.Alloc
-					continue
-				}
+			if err := free.Allocate(st.Alloc); err == nil {
+				out[st.Job.ID] = st.Alloc
+				continue
 			}
 		}
-		if a, ok := sched.PlaceAnyType(free, sched.UsableTypes(st.Job), st.Job.Workers); ok {
-			if err := free.Allocate(a); err == nil {
-				out[st.Job.ID] = a
-			}
+		if a, ok := sched.AllocAnyType(free, sched.UsableTypes(st.Job), st.Job.Workers); ok {
+			out[st.Job.ID] = a
 		}
 	}
 	return out

@@ -122,6 +122,35 @@ func Validate(j *job.Job, a cluster.Alloc) error {
 	return nil
 }
 
+// consolidate appends placements for up to need devices of type t onto
+// out in consolidation order — most free devices first, ties by lower
+// node ID — and returns the extended allocation plus the unmet need. It
+// scans through the state's shared scratch buffer, so a round's
+// placements do one buffer allocation total.
+func consolidate(st *cluster.State, t gpu.Type, need int, out cluster.Alloc) (cluster.Alloc, int) {
+	if need == 0 {
+		return out, 0
+	}
+	nodes := st.FreeNodes(t, st.Scratch())
+	sort.Slice(nodes, func(i, j int) bool {
+		if nodes[i].Free != nodes[j].Free {
+			return nodes[i].Free > nodes[j].Free
+		}
+		return nodes[i].Node < nodes[j].Node
+	})
+	for _, n := range nodes {
+		take := n.Free
+		if take > need {
+			take = need
+		}
+		out = append(out, cluster.Placement{Node: n.Node, Type: t, Count: take})
+		if need -= take; need == 0 {
+			break
+		}
+	}
+	return out, need
+}
+
 // PlaceSingleType places w workers of type t, consolidating onto as few
 // nodes as possible (nodes with more free devices of t first; ties by
 // lower node ID). It reports ok=false without mutating state if the
@@ -130,40 +159,19 @@ func PlaceSingleType(st *cluster.State, t gpu.Type, w int) (cluster.Alloc, bool)
 	if st.FreeOfType(t) < w {
 		return nil, false
 	}
-	type nodeFree struct{ id, free int }
-	nodes := make([]nodeFree, 0, st.Cluster().NumNodes())
-	for id := 0; id < st.Cluster().NumNodes(); id++ {
-		if f := st.Free(id, t); f > 0 {
-			nodes = append(nodes, nodeFree{id, f})
-		}
+	out, need := consolidate(st, t, w, nil)
+	if need > 0 {
+		return nil, false
 	}
-	sort.Slice(nodes, func(i, j int) bool {
-		if nodes[i].free != nodes[j].free {
-			return nodes[i].free > nodes[j].free
-		}
-		return nodes[i].id < nodes[j].id
-	})
-	var out cluster.Alloc
-	need := w
-	for _, n := range nodes {
-		take := n.free
-		if take > need {
-			take = need
-		}
-		out = append(out, cluster.Placement{Node: n.id, Type: t, Count: take})
-		need -= take
-		if need == 0 {
-			return out, true
-		}
-	}
-	return nil, false
+	return out, true
 }
 
 // PlaceAnyType fills w workers from the free pool following the given
-// type preference order (earlier types first), spreading across nodes as
-// needed. It reports ok=false if fewer than w devices of the preferred
-// types are free. Types the job cannot use must be excluded by the
-// caller.
+// type preference order (earlier types first), consolidating within
+// each type exactly like PlaceSingleType (most-free node first), so
+// gangs fragment across as few machines as each type pool allows. It
+// reports ok=false if fewer than w devices of the preferred types are
+// free. Types the job cannot use must be excluded by the caller.
 func PlaceAnyType(st *cluster.State, prefer []gpu.Type, w int) (cluster.Alloc, bool) {
 	var out cluster.Alloc
 	need := w
@@ -171,21 +179,39 @@ func PlaceAnyType(st *cluster.State, prefer []gpu.Type, w int) (cluster.Alloc, b
 		if need == 0 {
 			break
 		}
-		for id := 0; id < st.Cluster().NumNodes() && need > 0; id++ {
-			if f := st.Free(id, t); f > 0 {
-				take := f
-				if take > need {
-					take = need
-				}
-				out = append(out, cluster.Placement{Node: id, Type: t, Count: take})
-				need -= take
-			}
-		}
+		out, need = consolidate(st, t, need, out)
 	}
 	if need > 0 {
 		return nil, false
 	}
 	return out, true
+}
+
+// AllocSingleType is PlaceSingleType followed by Allocate as one step:
+// either the gang is placed and the state debited, or ok is false and
+// the state is untouched. Baselines use it so a placement can never
+// silently diverge from the booked state.
+func AllocSingleType(st *cluster.State, t gpu.Type, w int) (cluster.Alloc, bool) {
+	a, ok := PlaceSingleType(st, t, w)
+	if !ok {
+		return nil, false
+	}
+	if err := st.Allocate(a); err != nil {
+		return nil, false
+	}
+	return a, true
+}
+
+// AllocAnyType is PlaceAnyType followed by Allocate as one step.
+func AllocAnyType(st *cluster.State, prefer []gpu.Type, w int) (cluster.Alloc, bool) {
+	a, ok := PlaceAnyType(st, prefer, w)
+	if !ok {
+		return nil, false
+	}
+	if err := st.Allocate(a); err != nil {
+		return nil, false
+	}
+	return a, true
 }
 
 // UsableTypes returns the job's usable accelerator types sorted by

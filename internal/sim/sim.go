@@ -156,6 +156,10 @@ func Run(c *cluster.Cluster, jobs []*job.Job, s sched.Scheduler, opts Options) (
 
 	report := &metrics.Report{Scheduler: s.Name(), TotalGPUs: totalGPUs}
 	log := newEventLogger(opts.EventLog)
+	// Persistent free-state for joint-decision validation: every round's
+	// allocations are applied as a savepointed diff and rolled back,
+	// instead of rebuilding the state from the cluster each round.
+	freeState := cluster.NewState(c)
 	prevDown := map[int]bool{}
 	var active []*sched.JobState
 	next := 0 // index of next not-yet-arrived job
@@ -237,7 +241,10 @@ func Run(c *cluster.Cluster, jobs []*job.Job, s sched.Scheduler, opts Options) (
 		for _, st := range active {
 			activeByID[st.Job.ID] = st
 		}
-		free := cluster.NewState(viewCluster)
+		// Validate against the persistent state: down nodes keep their
+		// capacity there (the schedulers saw them with zero capacity via
+		// viewCluster), so placements on them are rejected explicitly.
+		sp := freeState.Savepoint()
 		for id, alloc := range decisions {
 			st, ok := activeByID[id]
 			if !ok {
@@ -250,11 +257,18 @@ func Run(c *cluster.Cluster, jobs []*job.Job, s sched.Scheduler, opts Options) (
 				return nil, fmt.Errorf("sim: %s: %w", s.Name(), err)
 			}
 			if alloc.Workers() > 0 {
-				if err := free.Allocate(alloc); err != nil {
+				for _, p := range alloc {
+					if p.Count > 0 && prevDown[p.Node] {
+						return nil, fmt.Errorf("sim: %s over-allocated: node %d is down, has 0 free %s, need %d",
+							s.Name(), p.Node, p.Type, p.Count)
+					}
+				}
+				if err := freeState.Allocate(alloc); err != nil {
 					return nil, fmt.Errorf("sim: %s over-allocated: %w", s.Name(), err)
 				}
 			}
 		}
+		freeState.Rollback(sp)
 
 		// Apply decisions. First pass: detect reallocations and, when
 		// contention modeling is on, count how many reallocated jobs

@@ -90,23 +90,19 @@ func (s *Scheduler) Schedule(ctx *sched.Context) map[int]cluster.Alloc {
 		// job claims the devices first, and expired leases trigger a
 		// fresh heterogeneity-unaware placement.
 		if st.Running() && st.Rounds%s.opts.LeaseRounds != 0 {
-			if err := free.Clone().Allocate(st.Alloc); err == nil {
-				if err := free.Allocate(st.Alloc); err == nil {
-					out[st.Job.ID] = st.Alloc
-					continue
-				}
+			if err := free.Allocate(st.Alloc); err == nil {
+				out[st.Job.ID] = st.Alloc
+				continue
 			}
 		}
 		if a, ok := s.place(free, st); ok {
-			if err := free.Allocate(a); err == nil {
-				out[st.Job.ID] = a
-			}
+			out[st.Job.ID] = a
 		}
 	}
 	return out
 }
 
-// place finds a single-type gang placement, heterogeneity-unaware: it
+// place books a single-type gang placement, heterogeneity-unaware: it
 // prefers the type with the most free devices among the types the job
 // can physically run on, regardless of throughput.
 func (s *Scheduler) place(free *cluster.State, st *sched.JobState) (cluster.Alloc, bool) {
@@ -124,5 +120,5 @@ func (s *Scheduler) place(free *cluster.State, st *sched.JobState) (cluster.Allo
 	if bestFree < 0 {
 		return nil, false
 	}
-	return sched.PlaceSingleType(free, bestType, st.Job.Workers)
+	return sched.AllocSingleType(free, bestType, st.Job.Workers)
 }

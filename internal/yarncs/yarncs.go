@@ -62,14 +62,12 @@ func (*Scheduler) Schedule(ctx *sched.Context) map[int]cluster.Alloc {
 			// Hadar's in the paper.
 			break
 		}
-		if err := free.Allocate(a); err == nil {
-			out[st.Job.ID] = a
-		}
+		out[st.Job.ID] = a
 	}
 	return out
 }
 
-// place assigns containers heterogeneity-unawares: the whole gang goes
+// place books containers heterogeneity-unawares: the whole gang goes
 // on the single type with the most free devices (node locality is what
 // YARN packs by, not device speed). Only a gang too large for every
 // type's total capacity falls back to mixing types — and then runs at
@@ -91,7 +89,7 @@ func place(free *cluster.State, st *sched.JobState) (cluster.Alloc, bool) {
 		}
 	}
 	if bestFree >= 0 {
-		return sched.PlaceSingleType(free, bestType, st.Job.Workers)
+		return sched.AllocSingleType(free, bestType, st.Job.Workers)
 	}
 	// Can any single type ever host this gang? If yes, wait for it.
 	for _, t := range prefer {
@@ -102,5 +100,5 @@ func place(free *cluster.State, st *sched.JobState) (cluster.Alloc, bool) {
 	if mixable < st.Job.Workers {
 		return nil, false
 	}
-	return sched.PlaceAnyType(free, prefer, st.Job.Workers)
+	return sched.AllocAnyType(free, prefer, st.Job.Workers)
 }
