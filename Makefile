@@ -3,11 +3,14 @@
 #
 # `make check` is the full gate CI runs: build, vet, and the test suite
 # under the race detector (the allocation-state layer is mutable shared
-# scratch; -race guards against anyone threading it by accident).
+# scratch; -race guards against anyone threading it by accident; the
+# rpccluster fault tests — including the always-on single-seed chaos
+# run — are part of the suite, so the control plane's retry/recovery
+# paths are raced on every check).
 
 GO ?= go
 
-.PHONY: check build vet test race bench-smoke bench experiments
+.PHONY: check build vet test race bench-smoke bench experiments chaos
 
 check: build vet race
 
@@ -35,3 +38,9 @@ bench:
 # experiments regenerates the paper's tables and figures at full scale.
 experiments:
 	$(GO) run ./cmd/experiments -all
+
+# chaos sweeps the fault-injection harness over a seed matrix: every
+# seed runs the live control plane under RPC drops, injected latency,
+# and a worker crash + restart, and must still complete every job.
+chaos:
+	$(GO) test -race -run 'TestChaosMatrix' -count=1 ./internal/rpccluster -args -chaosseeds=5

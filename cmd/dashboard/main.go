@@ -5,8 +5,11 @@
 // Usage:
 //
 //	dashboard [-addr :8080] [-jobs 96] [-seed 1] [-pattern static]
+//	          [-fail node:start:end]...
 //
-// Open http://localhost:8080 after the simulations finish.
+// Open http://localhost:8080 after the simulations finish. Each -fail
+// injects one machine outage window (seconds); with outages the index
+// page gains a fault-tolerance table.
 package main
 
 import (
@@ -14,6 +17,8 @@ import (
 	"fmt"
 	"net/http"
 	"os"
+	"strconv"
+	"strings"
 
 	"repro/internal/experiments"
 	"repro/internal/sched"
@@ -21,6 +26,38 @@ import (
 	"repro/internal/trace"
 	"repro/internal/web"
 )
+
+// failList collects repeated -fail flags as outage windows.
+type failList []sim.Failure
+
+func (f *failList) String() string {
+	var parts []string
+	for _, w := range *f {
+		parts = append(parts, fmt.Sprintf("%d:%g:%g", w.Node, w.Start, w.End))
+	}
+	return strings.Join(parts, ",")
+}
+
+func (f *failList) Set(s string) error {
+	parts := strings.Split(s, ":")
+	if len(parts) != 3 {
+		return fmt.Errorf("want node:start:end, got %q", s)
+	}
+	node, err := strconv.Atoi(parts[0])
+	if err != nil {
+		return fmt.Errorf("bad node in %q: %v", s, err)
+	}
+	start, err := strconv.ParseFloat(parts[1], 64)
+	if err != nil {
+		return fmt.Errorf("bad start in %q: %v", s, err)
+	}
+	end, err := strconv.ParseFloat(parts[2], 64)
+	if err != nil {
+		return fmt.Errorf("bad end in %q: %v", s, err)
+	}
+	*f = append(*f, sim.Failure{Node: node, Start: start, End: end})
+	return nil
+}
 
 func main() {
 	var (
@@ -30,6 +67,8 @@ func main() {
 		pattern = flag.String("pattern", "static", "arrival pattern: static or poisson")
 		rate    = flag.Float64("rate", 2.0/3600, "poisson arrival rate (jobs/second)")
 	)
+	var fails failList
+	flag.Var(&fails, "fail", "inject a node outage node:start:end in seconds (repeatable)")
 	flag.Parse()
 
 	cfg := trace.Config{NumJobs: *n, Seed: *seed, Rate: *rate}
@@ -43,13 +82,15 @@ func main() {
 	}
 	fmt.Printf("simulating %d jobs on %s with 4 schedulers...\n",
 		len(jobs), experiments.SimCluster())
+	opts := sim.DefaultOptions()
+	opts.Failures = fails
 	cmp, err := experiments.RunComparison(
 		experiments.SimCluster(), jobs,
 		[]sched.Scheduler{
 			experiments.NewHadar(), experiments.NewGavel(),
 			experiments.NewTiresias(), experiments.NewYARNCS(),
 		},
-		sim.DefaultOptions())
+		opts)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "dashboard: %v\n", err)
 		os.Exit(1)

@@ -6,6 +6,7 @@
 //	experiments -fig 3a             # one figure: 3a 3b 4 5 6 7 8 9 10
 //	experiments -table 3            # one table: 3 or 4
 //	experiments -motivation         # the Section II.A toy example
+//	experiments -failures           # node-outage robustness scenario
 //	experiments -jobs 120           # scale the trace down for quick runs
 //
 // Results print as text tables mirroring the paper's rows/series; see
@@ -29,6 +30,7 @@ func main() {
 		fig        = flag.String("fig", "", "figure to run: 3a 3b 4 5 6 7 8 9 10")
 		table      = flag.String("table", "", "table to run: 3 or 4")
 		motivation = flag.Bool("motivation", false, "run the Section II.A example")
+		failures   = flag.Bool("failures", false, "run the node-outage robustness scenario")
 		jobs       = flag.Int("jobs", 480, "trace length (480 = paper scale)")
 		seed       = flag.Int64("seed", 1, "random seed")
 		maxScale   = flag.Int("fig7-max", 2048, "largest job count in the Fig. 7 sweep")
@@ -65,6 +67,9 @@ func main() {
 
 	if *motivation || *all {
 		show(experiments.Motivation())
+	}
+	if *failures || *all {
+		show(experiments.FailureScenario(setup))
 	}
 	if *seeds > 0 {
 		show(experiments.SweepSeeds(setup, *seeds))
@@ -175,6 +180,15 @@ func writeCSV(dir string, v fmt.Stringer) error {
 	case *experiments.MotivationResult:
 		return write("motivation.csv", func(f *os.File) error {
 			return export.Comparison(f, r.Cmp)
+		})
+	case *experiments.FailureScenarioResult:
+		if err := write("failures_outage.csv", func(f *os.File) error {
+			return export.Comparison(f, r.Cmp)
+		}); err != nil {
+			return err
+		}
+		return write("failures_baseline.csv", func(f *os.File) error {
+			return export.Comparison(f, r.Baseline)
 		})
 	}
 	return nil // Table4 and others render text only

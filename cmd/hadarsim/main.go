@@ -6,16 +6,20 @@
 //	hadarsim [-scheduler hadar] [-cluster sim|physical] [-jobs 480]
 //	         [-seed 1] [-pattern static|poisson] [-rate 0.02]
 //	         [-round 6] [-model-costs] [-trace trace.json] [-cdf]
+//	         [-fail node:start:end]...
 //
 // Schedulers: hadar, hadar-makespan, gavel, tiresias, yarn-cs.
 // With -trace, jobs are loaded from a tracegen JSON file instead of
-// being synthesized.
+// being synthesized. Each -fail injects one machine outage window
+// (seconds); the flag repeats for multiple outages.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 
 	"repro/internal/allox"
 	"repro/internal/experiments"
@@ -25,6 +29,38 @@ import (
 	"repro/internal/sim"
 	"repro/internal/trace"
 )
+
+// failList collects repeated -fail flags as outage windows.
+type failList []sim.Failure
+
+func (f *failList) String() string {
+	var parts []string
+	for _, w := range *f {
+		parts = append(parts, fmt.Sprintf("%d:%g:%g", w.Node, w.Start, w.End))
+	}
+	return strings.Join(parts, ",")
+}
+
+func (f *failList) Set(s string) error {
+	parts := strings.Split(s, ":")
+	if len(parts) != 3 {
+		return fmt.Errorf("want node:start:end, got %q", s)
+	}
+	node, err := strconv.Atoi(parts[0])
+	if err != nil {
+		return fmt.Errorf("bad node in %q: %v", s, err)
+	}
+	start, err := strconv.ParseFloat(parts[1], 64)
+	if err != nil {
+		return fmt.Errorf("bad start in %q: %v", s, err)
+	}
+	end, err := strconv.ParseFloat(parts[2], 64)
+	if err != nil {
+		return fmt.Errorf("bad end in %q: %v", s, err)
+	}
+	*f = append(*f, sim.Failure{Node: node, Start: start, End: end})
+	return nil
+}
 
 func main() {
 	var (
@@ -40,6 +76,8 @@ func main() {
 		showCDF    = flag.Bool("cdf", false, "print the completion CDF")
 		eventsFile = flag.String("events", "", "write a JSONL simulation event log to this file")
 	)
+	var fails failList
+	flag.Var(&fails, "fail", "inject a node outage node:start:end in seconds (repeatable)")
 	flag.Parse()
 
 	var s sched.Scheduler
@@ -98,6 +136,7 @@ func main() {
 	opts := sim.DefaultOptions()
 	opts.RoundLength = *roundMin * 60
 	opts.UseModelCosts = *modelCosts
+	opts.Failures = fails
 	if *eventsFile != "" {
 		f, ferr := os.Create(*eventsFile)
 		if ferr != nil {
@@ -123,6 +162,9 @@ func main() {
 		100*report.ReallocationFraction())
 	fmt.Printf("  decisions:          %d rounds, avg %s per decision\n",
 		report.Decisions, report.AvgDecisionTime())
+	if report.Faults.Any() {
+		fmt.Printf("  faults:             %s\n", report.Faults)
+	}
 	if *showCDF {
 		fmt.Println("  completion CDF:")
 		for _, p := range report.CompletionCDF() {

@@ -7,16 +7,24 @@
 //
 //	livecluster [-scheduler hadar] [-jobs 10] [-seed 7]
 //	            [-timescale 36000] [-round 6] [-model-costs]
+//	            [-drop 0] [-latency 0] [-chaos-seed 1]
 //
 // With the default timescale, one wall-clock second represents ten
 // simulated hours, so the Table III workload replays in a few seconds
 // while still exercising live launch/preempt/checkpoint RPCs.
+//
+// -drop and -latency inject RPC faults (a drop probability and a
+// delay probability with delays up to half the call timeout) through a
+// deterministic chaos transport seeded by -chaos-seed, exercising the
+// controller's retry/heartbeat/recovery machinery; the fault counters
+// print after the run.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"repro/internal/experiments"
 	"repro/internal/gpu"
@@ -33,6 +41,9 @@ func main() {
 		timescale  = flag.Float64("timescale", 36000, "simulated seconds per wall-clock second")
 		roundMin   = flag.Float64("round", 6, "scheduling round (simulated minutes)")
 		modelCosts = flag.Bool("model-costs", true, "use Table IV checkpoint costs")
+		dropProb   = flag.Float64("drop", 0, "probability an RPC is dropped (chaos injection)")
+		latProb    = flag.Float64("latency", 0, "probability an RPC is delayed (chaos injection)")
+		chaosSeed  = flag.Int64("chaos-seed", 1, "seed for the chaos transport")
 	)
 	flag.Parse()
 
@@ -72,6 +83,24 @@ func main() {
 	opts.TimeScale = *timescale
 	opts.RoundLength = *roundMin * 60
 	opts.UseModelCosts = *modelCosts
+	if *dropProb > 0 || *latProb > 0 {
+		addrs := make([]string, len(specs))
+		for i, sp := range specs {
+			addrs[i] = sp.Addr
+		}
+		opts.CallTimeout = 100 * time.Millisecond
+		inner, err := rpccluster.NewDialTransport(addrs, opts.CallTimeout)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "livecluster: %v\n", err)
+			os.Exit(1)
+		}
+		opts.Transport = rpccluster.NewChaos(inner, rpccluster.ChaosOptions{
+			Seed:        *chaosSeed,
+			DropProb:    *dropProb,
+			LatencyProb: *latProb,
+			MaxLatency:  opts.CallTimeout / 2,
+		})
+	}
 	ctl, err := rpccluster.NewController(s, specs, opts)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "livecluster: %v\n", err)
@@ -94,5 +123,8 @@ func main() {
 	for _, jr := range report.Jobs {
 		fmt.Printf("  job %2d %-12s W=%d  start %6.2fh  finish %6.2fh  reallocs %d\n",
 			jr.ID, jr.Model, jr.Workers, jr.Start/3600, jr.Finish/3600, jr.Reallocations)
+	}
+	if report.Faults.Any() {
+		fmt.Printf("  faults: %s\n", report.Faults)
 	}
 }

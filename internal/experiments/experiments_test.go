@@ -372,3 +372,38 @@ func TestFig6StringSpeedups(t *testing.T) {
 		t.Errorf("Fig6 output missing speedups:\n%s", out)
 	}
 }
+
+func TestFailureScenarioSmallScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation experiment")
+	}
+	res, err := FailureScenario(smallSetup())
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := res.String()
+	for _, frag := range []string{"outage", "recoveries", "lostIters", "hadar"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("failure scenario output missing %q", frag)
+		}
+	}
+	for name, r := range res.Cmp.Reports {
+		if len(r.Jobs) != 24 {
+			t.Errorf("%s completed %d of 24 jobs under outages", name, len(r.Jobs))
+		}
+		if r.Faults.NodeDown != 2 || r.Faults.NodeUp != 2 {
+			t.Errorf("%s node transitions = %d down / %d up, want 2/2",
+				name, r.Faults.NodeDown, r.Faults.NodeUp)
+		}
+		// Outages begin mid-round, so gangs on the failing nodes must
+		// actually lose work (the surprise path, not just exclusion).
+		if r.Faults.Recoveries == 0 || r.Faults.LostIterations <= 0 {
+			t.Errorf("%s recorded no lost work: %+v", name, r.Faults)
+		}
+	}
+	for name, r := range res.Baseline.Reports {
+		if r.Faults.Any() {
+			t.Errorf("%s baseline has nonzero fault counters: %+v", name, r.Faults)
+		}
+	}
+}

@@ -69,6 +69,41 @@ func IsolatedDuration(totalIters float64, workers int, bestThroughput float64, n
 	return base * stretch
 }
 
+// FaultStats counts fault-tolerance events observed during a run. The
+// simulator fills in the outage-level counters (node transitions, lost
+// work, recoveries); the live control plane (rpccluster) additionally
+// populates the RPC-level ones. All counters stay zero on a fault-free
+// run, so reports from healthy runs are unchanged by their presence.
+type FaultStats struct {
+	// RPCRetries counts transient call failures that were retried.
+	RPCRetries int
+	// RPCTimeouts counts calls abandoned at the per-call deadline.
+	RPCTimeouts int
+	// NodeDown and NodeUp count node outage begin/end transitions as
+	// observed by the control plane (heartbeat probes) or simulator.
+	NodeDown int
+	NodeUp   int
+	// Recoveries counts job-rounds rolled back because a worker holding
+	// part of the job's gang failed mid-round.
+	Recoveries int
+	// LostIterations sums training iterations discarded by failures:
+	// progress past the last checkpoint (live cluster) or the killed
+	// round's forgone work (simulator).
+	LostIterations float64
+}
+
+// Any reports whether any fault counter is non-zero.
+func (f FaultStats) Any() bool {
+	return f.RPCRetries != 0 || f.RPCTimeouts != 0 || f.NodeDown != 0 ||
+		f.NodeUp != 0 || f.Recoveries != 0 || f.LostIterations != 0
+}
+
+// String renders the counters in one line.
+func (f FaultStats) String() string {
+	return fmt.Sprintf("retries=%d timeouts=%d down=%d up=%d recoveries=%d lostIters=%.0f",
+		f.RPCRetries, f.RPCTimeouts, f.NodeDown, f.NodeUp, f.Recoveries, f.LostIterations)
+}
+
 // Report aggregates one simulation run.
 type Report struct {
 	// Scheduler is the policy name.
@@ -98,6 +133,9 @@ type Report struct {
 	// Scheduler.Schedule, over Decisions calls (Fig. 7).
 	DecisionTime time.Duration
 	Decisions    int
+	// Faults counts failure-handling events (retries, outages,
+	// recoveries, lost work); all zero on a fault-free run.
+	Faults FaultStats
 	// RoundHeld records, per executed round, how many workers held
 	// devices — the cluster occupancy time series.
 	RoundHeld []int

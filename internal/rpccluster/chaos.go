@@ -1,0 +1,120 @@
+package rpccluster
+
+import (
+	"errors"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// ChaosOptions configures deterministic fault injection. All
+// randomness comes from one seeded RNG, so a given seed always yields
+// the same drop/latency decision sequence for the same call sequence.
+type ChaosOptions struct {
+	// Seed drives the injection RNG.
+	Seed int64
+	// DropProb is the probability a call is dropped: the worker never
+	// sees it and the caller gets a transient connection error.
+	DropProb float64
+	// LatencyProb is the probability a call is delayed before being
+	// forwarded; the delay is uniform in (0, MaxLatency].
+	LatencyProb float64
+	// MaxLatency bounds injected delays (0 disables latency injection).
+	MaxLatency time.Duration
+}
+
+// errInjectedDrop is the transient failure surfaced for dropped calls
+// and for calls to a crashed node.
+var errInjectedDrop = errors.New("rpccluster: chaos: connection lost")
+
+// Chaos is a fault-injecting Transport wrapper. It can drop calls, add
+// latency, and simulate node crashes (every call and reconnect to a
+// crashed node fails until Restore). It is safe for concurrent use.
+type Chaos struct {
+	inner Transport
+	opts  ChaosOptions
+
+	mu     sync.Mutex
+	rng    *rand.Rand
+	down   map[int]bool
+	drops  int
+	delays int
+}
+
+// NewChaos wraps a transport with seeded fault injection.
+func NewChaos(inner Transport, opts ChaosOptions) *Chaos {
+	return &Chaos{
+		inner: inner,
+		opts:  opts,
+		rng:   rand.New(rand.NewSource(opts.Seed)),
+		down:  make(map[int]bool),
+	}
+}
+
+// Crash makes every call and reconnect to node fail until Restore; the
+// test harness pairs it with tearing down the real worker.
+func (c *Chaos) Crash(node int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.down[node] = true
+}
+
+// Restore lifts a Crash.
+func (c *Chaos) Restore(node int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	delete(c.down, node)
+}
+
+// Stats reports how many calls were dropped and delayed so far.
+func (c *Chaos) Stats() (drops, delays int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.drops, c.delays
+}
+
+// Call applies the injection decisions, then forwards to the inner
+// transport. Injected latency happens before forwarding, so the
+// controller's per-call deadline observes it.
+func (c *Chaos) Call(node int, method string, args, reply interface{}) error {
+	c.mu.Lock()
+	if c.down[node] {
+		c.drops++
+		c.mu.Unlock()
+		return errInjectedDrop
+	}
+	drop := c.opts.DropProb > 0 && c.rng.Float64() < c.opts.DropProb
+	var delay time.Duration
+	if c.opts.MaxLatency > 0 && c.opts.LatencyProb > 0 && c.rng.Float64() < c.opts.LatencyProb {
+		delay = time.Duration(c.rng.Int63n(int64(c.opts.MaxLatency))) + 1
+	}
+	if drop {
+		c.drops++
+	}
+	if delay > 0 {
+		c.delays++
+	}
+	c.mu.Unlock()
+
+	if delay > 0 {
+		time.Sleep(delay)
+	}
+	if drop {
+		return errInjectedDrop
+	}
+	return c.inner.Call(node, method, args, reply)
+}
+
+// Reconnect fails while the node is crashed, otherwise forwards.
+func (c *Chaos) Reconnect(node int) error {
+	c.mu.Lock()
+	downNow := c.down[node]
+	c.mu.Unlock()
+	if downNow {
+		return errInjectedDrop
+	}
+	return c.inner.Reconnect(node)
+}
+
+// Close forwards to the inner transport.
+func (c *Chaos) Close() error { return c.inner.Close() }

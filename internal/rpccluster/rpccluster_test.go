@@ -112,9 +112,15 @@ func TestWorkerRejectsOverCapacity(t *testing.T) {
 		RateIterPerSec: 1, TargetIters: 10}, &LaunchReply{}); err != nil {
 		t.Fatal(err)
 	}
+	// Identical re-delivery (a retried launch whose reply was lost) is
+	// idempotent; a conflicting launch of the same job is rejected.
 	if err := w.Launch(LaunchArgs{JobID: 1, Lead: true, Devices: 1,
-		RateIterPerSec: 1, TargetIters: 10}, &LaunchReply{}); err == nil {
-		t.Error("duplicate job launch accepted")
+		RateIterPerSec: 1, TargetIters: 10}, &LaunchReply{}); err != nil {
+		t.Errorf("idempotent launch re-delivery rejected: %v", err)
+	}
+	if err := w.Launch(LaunchArgs{JobID: 1, Lead: false, Devices: 1,
+		RateIterPerSec: 1, TargetIters: 10, StartIter: 5}, &LaunchReply{}); err == nil {
+		t.Error("conflicting duplicate job launch accepted")
 	}
 }
 
@@ -193,6 +199,9 @@ func TestLiveClusterEndToEnd(t *testing.T) {
 	}
 	if !strings.Contains(report.Scheduler, "rpc") {
 		t.Errorf("scheduler name = %q, want rpc suffix", report.Scheduler)
+	}
+	if report.Faults.Any() {
+		t.Errorf("fault counters nonzero without injected faults: %+v", report.Faults)
 	}
 	// All workers drained.
 	for i := range specs {

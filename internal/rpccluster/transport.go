@@ -1,0 +1,196 @@
+package rpccluster
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"net/rpc"
+	"sync"
+	"time"
+)
+
+// Transport abstracts the control channel between the controller and
+// its worker agents. The production implementation (NewDialTransport)
+// speaks net/rpc over TCP; tests wrap it in a Chaos transport to inject
+// drops, latency, and crashes without touching the controller logic.
+//
+// Call blocks until the worker replies or the channel fails; per-call
+// deadlines, retries, and failure classification live in the
+// controller, above this interface, so every transport gets them.
+type Transport interface {
+	// Call invokes the named method (e.g. "Progress") on one node.
+	Call(node int, method string, args, reply interface{}) error
+	// Reconnect re-establishes the channel to a node after a failure.
+	Reconnect(node int) error
+	// Close tears down every connection. It is idempotent.
+	Close() error
+}
+
+// RetryPolicy bounds the controller's retries of transient call
+// failures: exponential backoff from BaseDelay, capped at MaxDelay,
+// with deterministic seeded jitter (the controller's fault RNG).
+type RetryPolicy struct {
+	// MaxAttempts is the total number of tries per call (>= 1).
+	MaxAttempts int
+	// BaseDelay is the backoff before the first retry.
+	BaseDelay time.Duration
+	// MaxDelay caps the exponential backoff.
+	MaxDelay time.Duration
+}
+
+// DefaultRetryPolicy suits loopback and LAN control planes: three
+// attempts a few milliseconds apart.
+func DefaultRetryPolicy() RetryPolicy {
+	return RetryPolicy{MaxAttempts: 3, BaseDelay: 2 * time.Millisecond, MaxDelay: 50 * time.Millisecond}
+}
+
+func (p RetryPolicy) normalize() RetryPolicy {
+	d := DefaultRetryPolicy()
+	if p.MaxAttempts <= 0 {
+		p.MaxAttempts = d.MaxAttempts
+	}
+	if p.BaseDelay <= 0 {
+		p.BaseDelay = d.BaseDelay
+	}
+	if p.MaxDelay <= 0 {
+		p.MaxDelay = d.MaxDelay
+	}
+	return p
+}
+
+// backoff returns the pause before retry #attempt (1-based), jittered
+// to [50%, 100%] of the exponential step by the caller's RNG value
+// jitter in [0, 1).
+func (p RetryPolicy) backoff(attempt int, jitter float64) time.Duration {
+	d := p.BaseDelay << uint(attempt-1)
+	if d > p.MaxDelay || d <= 0 {
+		d = p.MaxDelay
+	}
+	return time.Duration(float64(d) * (0.5 + jitter/2))
+}
+
+// timeoutError marks a call abandoned at its deadline.
+type timeoutError struct {
+	node   int
+	method string
+	limit  time.Duration
+}
+
+func (e *timeoutError) Error() string {
+	return fmt.Sprintf("rpccluster: call Worker%d.%s exceeded %v deadline", e.node, e.method, e.limit)
+}
+
+// Timeout implements net.Error-style classification.
+func (e *timeoutError) Timeout() bool { return true }
+
+// errNotConnected is returned for calls to a node whose channel is
+// down; it is transient (a Reconnect may fix it).
+var errNotConnected = errors.New("rpccluster: node not connected")
+
+// Transient reports whether err is a communication failure worth
+// retrying — timeouts, dropped or reset connections, closed clients —
+// as opposed to an application-level error returned by the worker
+// method itself (net/rpc surfaces those as rpc.ServerError). Worker
+// errors are deterministic protocol replies: retrying them cannot
+// help, while retrying channel errors often can.
+func Transient(err error) bool {
+	if err == nil {
+		return false
+	}
+	var se rpc.ServerError
+	return !errors.As(err, &se)
+}
+
+// IsTimeout reports whether err is a per-call deadline expiry.
+func IsTimeout(err error) bool {
+	var te *timeoutError
+	return errors.As(err, &te)
+}
+
+// dialTransport is the production transport: one net/rpc client per
+// worker over TCP. Safe for concurrent use; Reconnect swaps a node's
+// client under the lock while in-flight calls on the old client fail
+// with rpc.ErrShutdown (transient).
+type dialTransport struct {
+	addrs       []string
+	dialTimeout time.Duration
+
+	mu      sync.Mutex
+	clients []*rpc.Client
+}
+
+// NewDialTransport connects to every worker address. On any dial
+// failure the already-open connections are closed and the error
+// returned. dialTimeout bounds each TCP connect (0 means 1 s).
+func NewDialTransport(addrs []string, dialTimeout time.Duration) (Transport, error) {
+	if dialTimeout <= 0 {
+		dialTimeout = time.Second
+	}
+	t := &dialTransport{
+		addrs:       append([]string(nil), addrs...),
+		dialTimeout: dialTimeout,
+		clients:     make([]*rpc.Client, len(addrs)),
+	}
+	for i := range addrs {
+		if err := t.Reconnect(i); err != nil {
+			t.Close()
+			return nil, err
+		}
+	}
+	return t, nil
+}
+
+func (t *dialTransport) client(node int) (*rpc.Client, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if node < 0 || node >= len(t.clients) {
+		return nil, fmt.Errorf("rpccluster: unknown node %d", node)
+	}
+	if t.clients[node] == nil {
+		return nil, errNotConnected
+	}
+	return t.clients[node], nil
+}
+
+func (t *dialTransport) Call(node int, method string, args, reply interface{}) error {
+	cl, err := t.client(node)
+	if err != nil {
+		return err
+	}
+	return cl.Call(fmt.Sprintf("Worker%d.%s", node, method), args, reply)
+}
+
+func (t *dialTransport) Reconnect(node int) error {
+	if node < 0 || node >= len(t.addrs) {
+		return fmt.Errorf("rpccluster: unknown node %d", node)
+	}
+	conn, err := net.DialTimeout("tcp", t.addrs[node], t.dialTimeout)
+	if err != nil {
+		return fmt.Errorf("rpccluster: dial %s: %w", t.addrs[node], err)
+	}
+	cl := rpc.NewClient(conn)
+	t.mu.Lock()
+	old := t.clients[node]
+	t.clients[node] = cl
+	t.mu.Unlock()
+	if old != nil {
+		old.Close()
+	}
+	return nil
+}
+
+func (t *dialTransport) Close() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var first error
+	for i, cl := range t.clients {
+		if cl == nil {
+			continue
+		}
+		if err := cl.Close(); err != nil && first == nil && !errors.Is(err, rpc.ErrShutdown) {
+			first = err
+		}
+		t.clients[i] = nil
+	}
+	return first
+}

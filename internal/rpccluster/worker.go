@@ -42,6 +42,11 @@ type LaunchArgs struct {
 	// DelaySimSeconds is the checkpoint-restore stall before progress
 	// resumes, in simulated seconds.
 	DelaySimSeconds float64
+	// NowSimSeconds is the controller's simulated clock at launch time.
+	// Completion times are reported on this clock, so they stay
+	// consistent even when a worker process restarts mid-run (a fresh
+	// epoch on the worker side must not skew finish times).
+	NowSimSeconds float64
 }
 
 // LaunchReply acknowledges a launch.
@@ -76,6 +81,20 @@ type ProgressReply struct {
 	FinishSimTime float64
 }
 
+// PingArgs requests a liveness heartbeat.
+type PingArgs struct{}
+
+// PingReply answers a heartbeat probe.
+type PingReply struct {
+	NodeID int
+	// Incarnation identifies this worker process instance. It changes
+	// when the worker restarts, letting the controller detect that the
+	// node lost its in-memory tasks even if it never observed the
+	// outage itself.
+	Incarnation int64
+	FreeDevices int
+}
+
 // StatusArgs requests worker-level state.
 type StatusArgs struct{}
 
@@ -94,6 +113,7 @@ type task struct {
 	startIter  float64
 	target     float64
 	delay      float64 // simulated seconds
+	launchSim  float64 // controller sim clock at launch
 	launchedAt time.Time
 }
 
@@ -101,10 +121,10 @@ type task struct {
 // RPC surface the controller drives. One Worker instance serves one
 // listener; all methods are safe for concurrent use.
 type Worker struct {
-	nodeID    int
-	capacity  int
-	timeScale float64
-	epoch     time.Time
+	nodeID      int
+	capacity    int
+	timeScale   float64
+	incarnation int64
 
 	mu    sync.Mutex
 	tasks map[int]*task
@@ -118,20 +138,17 @@ func NewWorker(nodeID, capacity int, timeScale float64) *Worker {
 		panic(fmt.Sprintf("rpccluster: invalid worker config (capacity=%d, timeScale=%v)", capacity, timeScale))
 	}
 	return &Worker{
-		nodeID:    nodeID,
-		capacity:  capacity,
-		timeScale: timeScale,
-		epoch:     time.Now(),
-		tasks:     make(map[int]*task),
-		free:      capacity,
+		nodeID:      nodeID,
+		capacity:    capacity,
+		timeScale:   timeScale,
+		incarnation: time.Now().UnixNano(),
+		tasks:       make(map[int]*task),
+		free:        capacity,
 	}
 }
 
-// simNow returns the worker's current simulated time.
-func (w *Worker) simNow() float64 { return time.Since(w.epoch).Seconds() * w.timeScale }
-
 // progressLocked computes a task's current iteration and, if finished,
-// the exact simulated finish time.
+// the exact simulated finish time on the controller's clock.
 func (w *Worker) progressLocked(t *task) (iter float64, done bool, finish float64) {
 	elapsed := time.Since(t.launchedAt).Seconds()*w.timeScale - t.delay
 	if elapsed < 0 {
@@ -139,8 +156,7 @@ func (w *Worker) progressLocked(t *task) (iter float64, done bool, finish float6
 	}
 	iter = t.startIter + t.rate*elapsed
 	if iter >= t.target {
-		launchSim := t.launchedAt.Sub(w.epoch).Seconds() * w.timeScale
-		finish = launchSim + t.delay + (t.target-t.startIter)/t.rate
+		finish = t.launchSim + t.delay + (t.target-t.startIter)/t.rate
 		return t.target, true, finish
 	}
 	return iter, false, 0
@@ -151,7 +167,14 @@ func (w *Worker) progressLocked(t *task) (iter float64, done bool, finish float6
 func (w *Worker) Launch(args LaunchArgs, reply *LaunchReply) error {
 	w.mu.Lock()
 	defer w.mu.Unlock()
-	if _, exists := w.tasks[args.JobID]; exists {
+	if t, exists := w.tasks[args.JobID]; exists {
+		// Idempotent re-delivery: a retried launch whose first attempt
+		// executed but whose reply was lost must succeed, not error.
+		// Anything that differs in placement terms is a real conflict.
+		if t.devices == args.Devices && t.lead == args.Lead && t.startIter == args.StartIter {
+			reply.FreeDevices = w.free
+			return nil
+		}
 		return fmt.Errorf("rpccluster: node %d already hosts job %d", w.nodeID, args.JobID)
 	}
 	if args.Devices <= 0 || args.Devices > w.free {
@@ -167,6 +190,7 @@ func (w *Worker) Launch(args LaunchArgs, reply *LaunchReply) error {
 		startIter:  args.StartIter,
 		target:     args.TargetIters,
 		delay:      args.DelaySimSeconds,
+		launchSim:  args.NowSimSeconds,
 		launchedAt: time.Now(),
 	}
 	w.free -= args.Devices
@@ -203,6 +227,17 @@ func (w *Worker) Progress(args ProgressArgs, reply *ProgressReply) error {
 		return fmt.Errorf("rpccluster: job %d is not led by node %d", args.JobID, w.nodeID)
 	}
 	reply.Iter, reply.Done, reply.FinishSimTime = w.progressLocked(t)
+	return nil
+}
+
+// Ping implements the RPC heartbeat: cheap liveness plus the process
+// incarnation so the controller can detect restarts.
+func (w *Worker) Ping(_ PingArgs, reply *PingReply) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	reply.NodeID = w.nodeID
+	reply.Incarnation = w.incarnation
+	reply.FreeDevices = w.free
 	return nil
 }
 

@@ -205,6 +205,7 @@ func Run(c *cluster.Cluster, jobs []*job.Job, s sched.Scheduler, opts Options) (
 		}
 		for n := range viewDown {
 			if !prevDown[n] {
+				report.Faults.NodeDown++
 				if err := log.emit(Event{Time: now, Round: round, Type: EventNodeDown, Job: -1, Node: n}); err != nil {
 					return nil, err
 				}
@@ -212,6 +213,7 @@ func Run(c *cluster.Cluster, jobs []*job.Job, s sched.Scheduler, opts Options) (
 		}
 		for n := range prevDown {
 			if !viewDown[n] {
+				report.Faults.NodeUp++
 				if err := log.emit(Event{Time: now, Round: round, Type: EventNodeUp, Job: -1, Node: n}); err != nil {
 					return nil, err
 				}
@@ -346,6 +348,11 @@ func Run(c *cluster.Cluster, jobs []*job.Job, s sched.Scheduler, opts Options) (
 				}
 				delay *= float64(factor)
 			}
+			if delay >= opts.RoundLength {
+				delay = opts.RoundLength
+			}
+			window := opts.RoundLength - delay
+			rate := sched.Rate(st.Job, c, newAlloc)
 			// A node failing during the round kills the gang's progress
 			// for the whole round: the work since the last checkpoint is
 			// lost and the job re-places at the next boundary.
@@ -358,15 +365,16 @@ func Run(c *cluster.Cluster, jobs []*job.Job, s sched.Scheduler, opts Options) (
 					}
 				}
 				if killed {
+					lost := rate * window
+					if lost > st.Remaining {
+						lost = st.Remaining
+					}
+					report.Faults.LostIterations += lost
+					report.Faults.Recoveries++
 					stillActive = append(stillActive, st)
 					continue
 				}
 			}
-			if delay >= opts.RoundLength {
-				delay = opts.RoundLength
-			}
-			window := opts.RoundLength - delay
-			rate := sched.Rate(st.Job, c, newAlloc)
 			st.Rounds++
 			for _, t := range newAlloc.Types() {
 				st.RoundsByType[t]++

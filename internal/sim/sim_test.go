@@ -540,6 +540,72 @@ func TestSurpriseFailureLosesRoundProgress(t *testing.T) {
 	}
 }
 
+// capacityProbe wraps fifo and records node 0's V100 capacity as the
+// scheduler saw it each round.
+type capacityProbe struct {
+	inner fifo
+	caps  *[]int
+}
+
+func (p capacityProbe) Name() string { return "test-capacity-probe" }
+func (p capacityProbe) Schedule(ctx *sched.Context) map[int]cluster.Alloc {
+	*p.caps = append(*p.caps, ctx.Cluster.Capacity(0, gpu.V100))
+	return p.inner.Schedule(ctx)
+}
+
+func TestFailureExcludedFromSchedulerView(t *testing.T) {
+	// Node 0 is down for rounds 1-2 ([360, 1080)): the scheduler must
+	// see it with zero capacity exactly for those rounds and full
+	// capacity again once the outage ends.
+	c := cluster.New(gpu.Fleet{gpu.V100: 2}, gpu.Fleet{gpu.V100: 2})
+	var caps []int
+	opts := DefaultOptions()
+	opts.Failures = []Failure{{Node: 0, Start: 360, End: 1080}}
+	if _, err := Run(c, []*job.Job{simpleJob(0, 2, 40000, 0)}, capacityProbe{caps: &caps}, opts); err != nil {
+		t.Fatal(err)
+	}
+	if len(caps) < 4 {
+		t.Fatalf("only %d rounds ran", len(caps))
+	}
+	want := []int{2, 0, 0, 2}
+	for i, w := range want {
+		if caps[i] != w {
+			t.Errorf("round %d: scheduler saw capacity %d on node 0, want %d", i, caps[i], w)
+		}
+	}
+}
+
+func TestFailureFaultCountersAccounted(t *testing.T) {
+	c := cluster.New(gpu.Fleet{gpu.V100: 2})
+	clean, err := Run(c, []*job.Job{simpleJob(0, 2, 1000, 0)}, fifo{}, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if clean.Faults.Any() {
+		t.Errorf("fault counters nonzero without failures: %+v", clean.Faults)
+	}
+
+	// The outage begins mid-round 0 (invisible to the scheduler at
+	// t=0), so the job's entire 1000 iterations were in flight and are
+	// lost; the node is seen down for round 1 and up again at t=720.
+	opts := DefaultOptions()
+	opts.Failures = []Failure{{Node: 0, Start: 100, End: 700}}
+	r, err := Run(c, []*job.Job{simpleJob(0, 2, 1000, 0)}, fifo{}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := r.Faults
+	if f.NodeDown != 1 || f.NodeUp != 1 {
+		t.Errorf("node transitions = %d down / %d up, want 1/1", f.NodeDown, f.NodeUp)
+	}
+	if f.Recoveries != 1 {
+		t.Errorf("recoveries = %d, want 1 (one killed round)", f.Recoveries)
+	}
+	if f.LostIterations != 1000 {
+		t.Errorf("lost iterations = %v, want 1000 (full remaining work)", f.LostIterations)
+	}
+}
+
 func TestFailureWindowValidation(t *testing.T) {
 	c := twoNodeCluster()
 	opts := DefaultOptions()

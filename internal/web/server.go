@@ -56,6 +56,18 @@ a { color: #1f77b4; }
 <td><a href="/jobs?scheduler={{.Name}}">jobs</a></td></tr>
 {{end}}
 </table>
+{{if .FaultRows}}
+<h2>Fault tolerance</h2>
+<table>
+<tr><th>scheduler</th><th>RPC retries</th><th>timeouts</th><th>node down</th>
+<th>node up</th><th>recoveries</th><th>lost iterations</th></tr>
+{{range .FaultRows}}
+<tr><td>{{.Name}}</td><td>{{.F.RPCRetries}}</td><td>{{.F.RPCTimeouts}}</td>
+<td>{{.F.NodeDown}}</td><td>{{.F.NodeUp}}</td><td>{{.F.Recoveries}}</td>
+<td>{{printf "%.0f" .F.LostIterations}}</td></tr>
+{{end}}
+</table>
+{{end}}
 <h2>Completion CDF</h2><img src="/cdf.svg" alt="completion CDF">
 <h2>GPU utilization</h2><img src="/utilization.svg" alt="utilization">
 <h2>Cluster occupancy ({{.First}})</h2>
@@ -74,17 +86,28 @@ type indexRow struct {
 	Realloc     float64
 }
 
+// faultRow is one scheduler's fault-tolerance counters; the section
+// renders only for runs that actually saw faults.
+type faultRow struct {
+	Name string
+	F    metrics.FaultStats
+}
+
 func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
 	if r.URL.Path != "/" {
 		http.NotFound(w, r)
 		return
 	}
 	data := struct {
-		Rows  []indexRow
-		First string
+		Rows      []indexRow
+		FaultRows []faultRow
+		First     string
 	}{}
 	for _, name := range s.cmp.Order {
 		rep := s.cmp.Reports[name]
+		if rep.Faults.Any() {
+			data.FaultRows = append(data.FaultRows, faultRow{Name: name, F: rep.Faults})
+		}
 		data.Rows = append(data.Rows, indexRow{
 			Name:        name,
 			AvgJCT:      rep.AvgJCT() / 3600,
@@ -229,18 +252,25 @@ type summaryEntry struct {
 	AvgFTF        float64 `json:"avg_ftf"`
 	QueueDelaySec float64 `json:"avg_queue_delay_s"`
 	Jobs          int     `json:"jobs"`
+
+	Faults *metrics.FaultStats `json:"faults,omitempty"`
 }
 
 func (s *Server) handleSummary(w http.ResponseWriter, r *http.Request) {
 	var out []summaryEntry
 	for _, name := range s.cmp.Order {
 		rep := s.cmp.Reports[name]
-		out = append(out, summaryEntry{
+		e := summaryEntry{
 			Scheduler: name, AvgJCTSec: rep.AvgJCT(), MedianJCTSec: rep.MedianJCT(),
 			MakespanSec: rep.Makespan, Utilization: rep.Utilization(),
 			Occupancy: rep.Occupancy(), AvgFTF: rep.AvgFTF(),
 			QueueDelaySec: rep.AvgQueueDelay(), Jobs: len(rep.Jobs),
-		})
+		}
+		if rep.Faults.Any() {
+			f := rep.Faults
+			e.Faults = &f
+		}
+		out = append(out, e)
 	}
 	w.Header().Set("Content-Type", "application/json")
 	if err := json.NewEncoder(w).Encode(out); err != nil {
