@@ -10,7 +10,7 @@
 
 GO ?= go
 
-.PHONY: check build vet test race bench-smoke bench experiments chaos
+.PHONY: check build vet test race bench-smoke bench experiments chaos fuzz-smoke cover
 
 check: build vet race
 
@@ -34,6 +34,37 @@ bench-smoke:
 # bench takes real measurements of the scheduling hot path.
 bench:
 	$(GO) test -run='^$$' -bench='BenchmarkDPAllocate|BenchmarkGreedyAllocate|BenchmarkSimulate480Jobs' -benchmem .
+
+# fuzz-smoke gives every fuzz target a short budget. Go fuzzes one
+# target per invocation, so each gets its own run; FUZZTIME=2m for a
+# deeper local session.
+FUZZTIME ?= 10s
+fuzz-smoke:
+	$(GO) test -run='^$$' -fuzz='^FuzzSolve$$' -fuzztime=$(FUZZTIME) ./internal/lp
+	$(GO) test -run='^$$' -fuzz='^FuzzReadPhillyCSV$$' -fuzztime=$(FUZZTIME) ./internal/trace
+	$(GO) test -run='^$$' -fuzz='^FuzzReadTraceJSON$$' -fuzztime=$(FUZZTIME) ./internal/trace
+	$(GO) test -run='^$$' -fuzz='^FuzzStateTransactions$$' -fuzztime=$(FUZZTIME) ./internal/cluster
+	$(GO) test -run='^$$' -fuzz='^FuzzSimRun$$' -fuzztime=$(FUZZTIME) ./internal/sim
+
+# cover prints per-package statement coverage and enforces floors on
+# the packages the correctness story leans on: the Hadar core, the
+# simulator, and the invariant oracle itself. Floors sit a few points
+# under current coverage so they flag erosion, not noise.
+cover:
+	@out="$$($(GO) test -cover ./...)" || { printf '%s\n' "$$out"; exit 1; }; \
+	printf '%s\n' "$$out"; \
+	printf '%s\n' "$$out" | awk ' \
+		{ floor = 0 } \
+		$$2 == "repro/internal/core"      { floor = 85 } \
+		$$2 == "repro/internal/sim"       { floor = 88 } \
+		$$2 == "repro/internal/invariant" { floor = 90 } \
+		floor > 0 { \
+			pct = 0; \
+			for (i = 1; i <= NF; i++) if ($$i == "coverage:") pct = $$(i+1) + 0; \
+			if (pct < floor) { printf "FAIL coverage floor: %s at %s%% (floor %s%%)\n", $$2, pct, floor; bad = 1 } \
+			else { printf "coverage floor ok: %s at %s%% (floor %s%%)\n", $$2, pct, floor } \
+		} \
+		END { exit bad }'
 
 # experiments regenerates the paper's tables and figures at full scale.
 experiments:

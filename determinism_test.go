@@ -2,9 +2,12 @@ package repro
 
 import (
 	"fmt"
+	"hash/fnv"
+	"sort"
 	"testing"
 
 	"repro/internal/allox"
+	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/gavel"
@@ -67,7 +70,7 @@ func scheduleFingerprint(t *testing.T, s sched.Scheduler, numJobs int) []string 
 	if err != nil {
 		t.Fatal(err)
 	}
-	r, err := sim.Run(experiments.SimCluster(), jobs, s, sim.DefaultOptions())
+	r, err := sim.Run(experiments.SimCluster(), jobs, s, sim.ValidatedOptions())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -77,4 +80,126 @@ func scheduleFingerprint(t *testing.T, s sched.Scheduler, numJobs int) []string 
 			j.ID, j.Start, j.Finish, j.Reallocations))
 	}
 	return out
+}
+
+// digestRecorder wraps a scheduler and folds every round's canonical
+// decisions into an FNV-64a digest: round index, then each allocated
+// job's ID and its sorted (node, type, count) placements. Only integer
+// decision data enters the hash, so the digest is stable across
+// platforms and Go versions as long as the schedule itself is.
+type digestRecorder struct {
+	inner sched.Scheduler
+	sum   uint64
+}
+
+func newDigestRecorder(s sched.Scheduler) *digestRecorder {
+	return &digestRecorder{inner: s}
+}
+
+func (d *digestRecorder) Name() string { return d.inner.Name() }
+
+func (d *digestRecorder) Schedule(ctx *sched.Context) map[int]cluster.Alloc {
+	out := d.inner.Schedule(ctx)
+	h := fnv.New64a()
+	write := func(v int) {
+		var b [8]byte
+		u := uint64(v)
+		for i := range b {
+			b[i] = byte(u >> (8 * i))
+		}
+		h.Write(b[:])
+	}
+	write(ctx.Round)
+	ids := make([]int, 0, len(out))
+	for id, a := range out {
+		if a.Workers() > 0 {
+			ids = append(ids, id)
+		}
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		write(id)
+		for _, p := range out[id].Canonical() {
+			write(p.Node)
+			write(int(p.Type))
+			write(p.Count)
+		}
+	}
+	// Chain rounds so reordering two rounds cannot cancel out.
+	d.sum = d.sum*1099511628211 + h.Sum64()
+	return out
+}
+
+// goldenDigests pins the exact schedule every policy produces on the
+// seed trace. A change here means the policy's decisions changed — that
+// can be intentional (algorithm work) but must never happen as a side
+// effect of a refactor. On an intentional change, re-run the test: the
+// failure message prints the observed digest to paste in here.
+var goldenDigests = map[string]map[int]uint64{
+	"hadar": {
+		96:  0x21dcfe1575c93546,
+		480: 0x7c16584a99c62b3b,
+	},
+	"gavel": {
+		96:  0xab71ad9308963fc,
+		480: 0xbe27a927b5c221db,
+	},
+	"tiresias": {
+		96:  0x929fd660b56636a4,
+		480: 0x6573f9a49b8fe1d8,
+	},
+	"yarn-cs": {
+		96:  0x12a7dd07cabc1fcb,
+		480: 0xbd66845097d08efa,
+	},
+	"allox": {
+		96:  0xb71ee4fe0857b27a,
+		480: 0x4598ac0671e4a3b7,
+	},
+}
+
+// TestGoldenScheduleDigests replays the seed trace under every policy
+// and compares the per-round allocation digest against the checked-in
+// golden value. Unlike TestSchedulerDeterminism (same-process
+// run-to-run drift), this catches cross-commit drift: an accidental
+// behaviour change in any scheduler or in the simulator's round
+// protocol fails here even if the new behaviour is itself
+// deterministic.
+func TestGoldenScheduleDigests(t *testing.T) {
+	core.PanicOnInconsistency = true
+	numJobs := 480
+	if testing.Short() {
+		numJobs = 96
+	}
+	schedulers := map[string]func() sched.Scheduler{
+		"hadar":    func() sched.Scheduler { return core.New(core.DefaultOptions()) },
+		"gavel":    func() sched.Scheduler { return gavel.New(gavel.Options{}) },
+		"tiresias": func() sched.Scheduler { return tiresias.New(tiresias.DefaultOptions()) },
+		"yarn-cs":  func() sched.Scheduler { return yarncs.New() },
+		"allox":    func() sched.Scheduler { return allox.New() },
+	}
+	for name, mk := range schedulers {
+		mk := mk
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			cfg := trace.DefaultConfig()
+			cfg.NumJobs = numJobs
+			jobs, err := trace.Generate(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rec := newDigestRecorder(mk())
+			if _, err := sim.Run(experiments.SimCluster(), jobs, rec, sim.ValidatedOptions()); err != nil {
+				t.Fatal(err)
+			}
+			want, ok := goldenDigests[name][numJobs]
+			if !ok {
+				t.Fatalf("no golden digest for %s with %d jobs; observed %#x", name, numJobs, rec.sum)
+			}
+			if rec.sum != want {
+				t.Errorf("schedule digest %#x, golden %#x — the %s schedule changed; "+
+					"if intentional, update goldenDigests", rec.sum, want, name)
+			}
+		})
+	}
 }

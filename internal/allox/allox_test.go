@@ -115,14 +115,14 @@ func TestEndToEndSandwich(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ax, err := sim.Run(c, jobs, New(), sim.DefaultOptions())
+	ax, err := sim.Run(c, jobs, New(), sim.ValidatedOptions())
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(ax.Jobs) != 24 {
 		t.Fatalf("AlloX completed %d of 24 jobs", len(ax.Jobs))
 	}
-	hd, err := sim.Run(c, jobs, core.New(core.DefaultOptions()), sim.DefaultOptions())
+	hd, err := sim.Run(c, jobs, core.New(core.DefaultOptions()), sim.ValidatedOptions())
 	if err != nil {
 		t.Fatal(err)
 	}

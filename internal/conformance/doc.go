@@ -1,0 +1,12 @@
+// Package conformance holds cross-policy correctness tests: the
+// differential matrix that simulates every scheduling policy over
+// seeded trace families with the invariant oracle enabled, the
+// empirical check of Theorem 2's 2-alpha competitive bound against the
+// brute-force offline optimum, and the metamorphic relations
+// (arrival-order permutation, accelerator-type relabeling, utility
+// scaling) that pin down symmetries the model says must hold.
+//
+// The package intentionally contains no production code — everything
+// lives in its external tests — so that it can import every policy
+// package without creating dependency edges between them.
+package conformance

@@ -81,8 +81,9 @@ func DefaultOptions() Options {
 // to admit and place jobs with positive payoff. It implements
 // sched.Scheduler and is not safe for concurrent use.
 type Scheduler struct {
-	opts      Options
-	lastAlpha float64
+	opts       Options
+	lastAlpha  float64
+	lastPrices *priceTable
 	// inconsistencies counts internal allocation failures: decisions the
 	// dual subroutine produced that did not fit the free state it was
 	// itself tracking. Always 0 unless there is a placement bug.
@@ -119,6 +120,27 @@ func (s *Scheduler) Name() string { return "hadar" + s.opts.NameSuffix }
 // the most recent round's price bounds; Hadar is 2*alpha competitive.
 func (s *Scheduler) LastAlpha() float64 { return s.lastAlpha }
 
+// PriceBounds returns the most recent round's per-type utility bounds
+// U_min^r / U_max^r (Eq. 6-7), indexed by gpu.Type. Types no active job
+// can use report U_max = 0. It implements invariant.PriceReporter so
+// the correctness oracle can audit the dual price state every round.
+func (s *Scheduler) PriceBounds() (umin, umax []float64) {
+	if s.lastPrices == nil {
+		return nil, nil
+	}
+	return s.lastPrices.umin[:], s.lastPrices.umax[:]
+}
+
+// PriceAt evaluates the most recent round's marginal price function k^r
+// (Eq. 5) for type t at the given utilization fraction in [0, 1]. It
+// implements invariant.PriceReporter.
+func (s *Scheduler) PriceAt(t gpu.Type, utilization float64) float64 {
+	if s.lastPrices == nil || !t.Valid() {
+		return 0
+	}
+	return s.lastPrices.at(t, utilization)
+}
+
 // Inconsistencies returns how many internal allocation failures the
 // scheduler has swallowed across its lifetime. Nonzero values indicate
 // a placement bug: a candidate won the dual subroutine but no longer
@@ -142,6 +164,7 @@ func (s *Scheduler) Schedule(ctx *sched.Context) map[int]cluster.Alloc {
 	}
 	pt := newPriceTable(ctx, s.opts.Utility, s.opts.Eta, s.opts.ExponentialPrice)
 	s.lastAlpha = pt.alpha()
+	s.lastPrices = pt
 
 	queue := s.orderQueue(ctx)
 	// Usable-type lists are a function of the immutable job alone;

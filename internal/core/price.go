@@ -106,11 +106,22 @@ func defaultEta(ctx *sched.Context) float64 {
 // the type price at +Inf so they are never selected.
 func (pt *priceTable) price(free *cluster.State, node int, t gpu.Type) float64 {
 	cap := pt.c.Capacity(node, t)
-	if cap == 0 || pt.umax[t] <= 0 {
+	if cap == 0 {
 		return math.Inf(1)
 	}
 	gamma := float64(cap - free.Free(node, t))
-	frac := gamma / float64(cap)
+	return pt.at(t, gamma/float64(cap))
+}
+
+// at evaluates the marginal price function k^r for type t at the given
+// utilization fraction in [0, 1] (Eq. 5). Because Umin <= Umax after
+// normalization, the curve is monotone non-decreasing in utilization —
+// the property Theorem 2's charging argument needs and the invariant
+// checker verifies each round.
+func (pt *priceTable) at(t gpu.Type, frac float64) float64 {
+	if pt.umax[t] <= 0 {
+		return math.Inf(1)
+	}
 	if pt.exponential {
 		return pt.umin[t] * math.Pow(pt.umax[t]/pt.umin[t], frac)
 	}

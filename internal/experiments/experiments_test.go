@@ -238,7 +238,7 @@ func TestComparisonHelpers(t *testing.T) {
 		t.Fatal(err)
 	}
 	cmp, err := RunComparison(c, jobs,
-		[]sched.Scheduler{NewHadar(), NewGavel()}, sim.DefaultOptions())
+		[]sched.Scheduler{NewHadar(), NewGavel()}, sim.ValidatedOptions())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -21,7 +21,7 @@ func smallComparison(t *testing.T, numJobs int, seed int64) *Comparison {
 		t.Fatal(err)
 	}
 	scheds := []sched.Scheduler{NewHadar(), NewGavel(), NewTiresias(), NewYARNCS()}
-	cmp, err := RunComparison(c, jobs, scheds, sim.DefaultOptions())
+	cmp, err := RunComparison(c, jobs, scheds, sim.ValidatedOptions())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -120,7 +120,7 @@ func TestHadarBeatsReferencePolicies(t *testing.T) {
 		t.Fatal(err)
 	}
 	run := func(s sched.Scheduler) float64 {
-		r, err := sim.Run(c, jobs, s, sim.DefaultOptions())
+		r, err := sim.Run(c, jobs, s, sim.ValidatedOptions())
 		if err != nil {
 			t.Fatal(err)
 		}

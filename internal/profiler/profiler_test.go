@@ -114,11 +114,11 @@ func TestEndToEndWithoutOracle(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	oracle, err := sim.Run(c, jobs, core.New(core.DefaultOptions()), sim.DefaultOptions())
+	oracle, err := sim.Run(c, jobs, core.New(core.DefaultOptions()), sim.ValidatedOptions())
 	if err != nil {
 		t.Fatal(err)
 	}
-	est, err := sim.Run(c, jobs, New(core.New(core.DefaultOptions()), DefaultOptions()), sim.DefaultOptions())
+	est, err := sim.Run(c, jobs, New(core.New(core.DefaultOptions()), DefaultOptions()), sim.ValidatedOptions())
 	if err != nil {
 		t.Fatal(err)
 	}

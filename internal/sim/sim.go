@@ -21,6 +21,7 @@ import (
 	"repro/internal/checkpoint"
 	"repro/internal/cluster"
 	"repro/internal/gpu"
+	"repro/internal/invariant"
 	"repro/internal/job"
 	"repro/internal/metrics"
 	"repro/internal/sched"
@@ -63,6 +64,13 @@ type Options struct {
 	// event (arrivals, starts, reallocations, pauses, completions, node
 	// outages). Parse with ReadEvents.
 	EventLog io.Writer
+	// Validate runs the correctness oracle (internal/invariant) on
+	// every round's joint decision and on the final report: capacity,
+	// gang, iteration-conservation, dual-price and report-consistency
+	// invariants all hold or Run fails with the violation. Tests enable
+	// it via ValidatedOptions; benchmarks leave it off (disabled, the
+	// checker costs nothing).
+	Validate bool
 }
 
 // Failure is one machine outage window [Start, End).
@@ -93,6 +101,16 @@ func DefaultOptions() Options {
 		RoundLength: checkpoint.RoundSeconds,
 		FlatDelay:   checkpoint.DefaultDelay,
 	}
+}
+
+// ValidatedOptions returns DefaultOptions with the invariant checker
+// enabled. Tests simulate with it so every round is validated against
+// the paper's model; benchmarks use DefaultOptions to measure the
+// unchecked hot path.
+func ValidatedOptions() Options {
+	o := DefaultOptions()
+	o.Validate = true
+	return o
 }
 
 func (o *Options) normalize() error {
@@ -156,6 +174,17 @@ func Run(c *cluster.Cluster, jobs []*job.Job, s sched.Scheduler, opts Options) (
 
 	report := &metrics.Report{Scheduler: s.Name(), TotalGPUs: totalGPUs}
 	log := newEventLogger(opts.EventLog)
+	// Correctness oracle, enabled by Options.Validate: observes every
+	// round's decisions and progress accounting and fails the run on
+	// the first violated invariant. Rates are checked against the same
+	// bottleneck model the simulator charges (full cluster, so node
+	// straggler factors apply).
+	var chk *invariant.Checker
+	var rateModel func(j *job.Job, a cluster.Alloc) float64
+	if opts.Validate {
+		chk = invariant.NewChecker(c)
+		rateModel = func(j *job.Job, a cluster.Alloc) float64 { return sched.Rate(j, c, a) }
+	}
 	// Persistent free-state for joint-decision validation: every round's
 	// allocations are applied as a savepointed diff and rolled back,
 	// instead of rebuilding the state from the cluster each round.
@@ -303,8 +332,17 @@ func Run(c *cluster.Cluster, jobs []*job.Job, s sched.Scheduler, opts Options) (
 		anyAllocated := false
 		heldThisRound := 0
 		var stillActive []*sched.JobState
+		var obs []invariant.JobRound
+		observe := func(st *sched.JobState, alloc cluster.Alloc, before, window float64, killed bool) {
+			obs = append(obs, invariant.JobRound{
+				Job: st.Job, Alloc: alloc,
+				RemainingBefore: before, RemainingAfter: st.Remaining,
+				Window: window, Killed: killed,
+			})
+		}
 		for _, aj := range applied {
 			st, newAlloc, prev, changed := aj.st, aj.alloc, aj.prev, aj.changed
+			remBefore := st.Remaining
 			w := newAlloc.Workers()
 			if w == 0 {
 				if prev.Workers() > 0 {
@@ -312,6 +350,9 @@ func Run(c *cluster.Cluster, jobs []*job.Job, s sched.Scheduler, opts Options) (
 						Job: st.Job.ID, Node: -1}); err != nil {
 						return nil, err
 					}
+				}
+				if chk != nil {
+					observe(st, nil, remBefore, 0, false)
 				}
 				stillActive = append(stillActive, st)
 				continue
@@ -371,6 +412,9 @@ func Run(c *cluster.Cluster, jobs []*job.Job, s sched.Scheduler, opts Options) (
 					}
 					report.Faults.LostIterations += lost
 					report.Faults.Recoveries++
+					if chk != nil {
+						observe(st, newAlloc, remBefore, window, true)
+					}
 					stillActive = append(stillActive, st)
 					continue
 				}
@@ -383,6 +427,9 @@ func Run(c *cluster.Cluster, jobs []*job.Job, s sched.Scheduler, opts Options) (
 			if rate <= 0 {
 				// Allocated but cannot progress (validated types make
 				// this unreachable, but stay safe).
+				if chk != nil {
+					observe(st, newAlloc, remBefore, window, false)
+				}
 				stillActive = append(stillActive, st)
 				continue
 			}
@@ -404,6 +451,9 @@ func Run(c *cluster.Cluster, jobs []*job.Job, s sched.Scheduler, opts Options) (
 				if finish > report.Makespan {
 					report.Makespan = finish
 				}
+				if chk != nil {
+					observe(st, newAlloc, remBefore, window, false)
+				}
 				// Job leaves the active set; its GPUs are free from the
 				// next boundary on (the simulator rebuilds allocations
 				// each round).
@@ -412,9 +462,22 @@ func Run(c *cluster.Cluster, jobs []*job.Job, s sched.Scheduler, opts Options) (
 			st.Remaining -= rate * window
 			st.Attained += float64(w) * window
 			report.BusyGPUSeconds += float64(w) * window
+			if chk != nil {
+				observe(st, newAlloc, remBefore, window, false)
+			}
 			stillActive = append(stillActive, st)
 		}
 		active = stillActive
+		if chk != nil {
+			chk.CheckRound(invariant.Round{
+				Index: round, Now: now, Length: opts.RoundLength,
+				Down: prevDown, Jobs: obs, Scheduler: s, Rate: rateModel,
+			})
+			// Fail fast so the offending round is the one in the error.
+			if err := chk.Err(); err != nil {
+				return nil, fmt.Errorf("sim: %s: %w", s.Name(), err)
+			}
+		}
 		report.RoundHeld = append(report.RoundHeld, heldThisRound)
 		report.RoundStarts = append(report.RoundStarts, now)
 
@@ -433,6 +496,12 @@ func Run(c *cluster.Cluster, jobs []*job.Job, s sched.Scheduler, opts Options) (
 		}
 	}
 	report.SortJobsByID()
+	if chk != nil {
+		chk.CheckReport(report, ordered)
+		if err := chk.Err(); err != nil {
+			return nil, fmt.Errorf("sim: %s: %w", s.Name(), err)
+		}
+	}
 	return report, nil
 }
 

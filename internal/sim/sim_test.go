@@ -111,7 +111,7 @@ func twoNodeCluster() *cluster.Cluster {
 func TestSingleJobExactJCT(t *testing.T) {
 	c := twoNodeCluster()
 	j := simpleJob(0, 2, 1000, 0) // 1000 iters at 2x10 iters/s = 50s work
-	opts := DefaultOptions()
+	opts := ValidatedOptions()
 	r, err := Run(c, []*job.Job{j}, fifo{}, opts)
 	if err != nil {
 		t.Fatal(err)
@@ -134,7 +134,7 @@ func TestMultiRoundProgress(t *testing.T) {
 	// 20000 iters at 20 iters/s = 1000s of work: needs 3 rounds
 	// (350 + 360 + rest with the initial 10s stall in round 1).
 	j := simpleJob(0, 2, 20000, 0)
-	r, err := Run(c, []*job.Job{j}, fifo{}, DefaultOptions())
+	r, err := Run(c, []*job.Job{j}, fifo{}, ValidatedOptions())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -154,7 +154,7 @@ func TestBusySecondsAndUtilizationBound(t *testing.T) {
 		simpleJob(1, 4, 8000, 0),
 		simpleJob(2, 1, 2000, 0),
 	}
-	r, err := Run(c, jobs, fifo{}, DefaultOptions())
+	r, err := Run(c, jobs, fifo{}, ValidatedOptions())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -176,7 +176,7 @@ func TestWorkConservation(t *testing.T) {
 		simpleJob(1, 4, 8000, 100),
 		simpleJob(2, 6, 12000, 700),
 	}
-	r, err := Run(c, jobs, fifo{}, DefaultOptions())
+	r, err := Run(c, jobs, fifo{}, ValidatedOptions())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -195,7 +195,7 @@ func TestWorkConservation(t *testing.T) {
 func TestLateArrivalFastForward(t *testing.T) {
 	c := twoNodeCluster()
 	j := simpleJob(0, 1, 100, 3600.5) // arrives mid-round
-	r, err := Run(c, []*job.Job{j}, fifo{}, DefaultOptions())
+	r, err := Run(c, []*job.Job{j}, fifo{}, ValidatedOptions())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -212,7 +212,7 @@ func TestLateArrivalFastForward(t *testing.T) {
 func TestArrivalExactlyOnBoundary(t *testing.T) {
 	c := twoNodeCluster()
 	j := simpleJob(0, 1, 100, 720)
-	r, err := Run(c, []*job.Job{j}, fifo{}, DefaultOptions())
+	r, err := Run(c, []*job.Job{j}, fifo{}, ValidatedOptions())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -225,11 +225,11 @@ func TestChurnPaysReallocationEveryRound(t *testing.T) {
 	c := twoNodeCluster()
 	// 14000 iters at 10 iters/s (1 worker) = 1400s: 4 rounds of churn.
 	j := simpleJob(0, 1, 14000, 0)
-	rChurn, err := Run(c, []*job.Job{j}, churn{}, DefaultOptions())
+	rChurn, err := Run(c, []*job.Job{j}, churn{}, ValidatedOptions())
 	if err != nil {
 		t.Fatal(err)
 	}
-	rSticky, err := Run(c, []*job.Job{j}, fifo{}, DefaultOptions())
+	rSticky, err := Run(c, []*job.Job{j}, fifo{}, ValidatedOptions())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -257,8 +257,8 @@ func TestModelCostMode(t *testing.T) {
 		j.Model = "ResNet-50"
 		return j
 	}
-	optsFlat := DefaultOptions()
-	optsModel := DefaultOptions()
+	optsFlat := ValidatedOptions()
+	optsModel := ValidatedOptions()
 	optsModel.UseModelCosts = true
 	rFlat, err := Run(c, []*job.Job{mk()}, fifo{}, optsFlat)
 	if err != nil {
@@ -282,7 +282,7 @@ func TestModelCostMode(t *testing.T) {
 func TestQuantizedCompletions(t *testing.T) {
 	c := twoNodeCluster()
 	j := simpleJob(0, 2, 1000, 0)
-	opts := DefaultOptions()
+	opts := ValidatedOptions()
 	opts.QuantizeCompletions = true
 	r, err := Run(c, []*job.Job{j}, fifo{}, opts)
 	if err != nil {
@@ -295,7 +295,7 @@ func TestQuantizedCompletions(t *testing.T) {
 
 func TestGangViolationRejected(t *testing.T) {
 	c := twoNodeCluster()
-	_, err := Run(c, []*job.Job{simpleJob(0, 2, 100, 0)}, badGang{}, DefaultOptions())
+	_, err := Run(c, []*job.Job{simpleJob(0, 2, 100, 0)}, badGang{}, ValidatedOptions())
 	if err == nil || !strings.Contains(err.Error(), "gang") {
 		t.Errorf("gang violation not rejected: %v", err)
 	}
@@ -304,7 +304,7 @@ func TestGangViolationRejected(t *testing.T) {
 func TestOverbookingRejected(t *testing.T) {
 	c := cluster.New(gpu.Fleet{gpu.V100: 4})
 	jobs := []*job.Job{simpleJob(0, 3, 100, 0), simpleJob(1, 3, 100, 0)}
-	_, err := Run(c, jobs, overbook{}, DefaultOptions())
+	_, err := Run(c, jobs, overbook{}, ValidatedOptions())
 	if err == nil || !strings.Contains(err.Error(), "over-allocated") {
 		t.Errorf("overbooking not rejected: %v", err)
 	}
@@ -312,7 +312,7 @@ func TestOverbookingRejected(t *testing.T) {
 
 func TestGhostAllocationRejected(t *testing.T) {
 	c := twoNodeCluster()
-	_, err := Run(c, []*job.Job{simpleJob(0, 1, 100, 0)}, ghost{}, DefaultOptions())
+	_, err := Run(c, []*job.Job{simpleJob(0, 1, 100, 0)}, ghost{}, ValidatedOptions())
 	if err == nil || !strings.Contains(err.Error(), "unknown") {
 		t.Errorf("ghost allocation not rejected: %v", err)
 	}
@@ -320,7 +320,7 @@ func TestGhostAllocationRejected(t *testing.T) {
 
 func TestStarvationDetected(t *testing.T) {
 	c := twoNodeCluster()
-	opts := DefaultOptions()
+	opts := ValidatedOptions()
 	opts.StallLimit = 10
 	_, err := Run(c, []*job.Job{simpleJob(0, 1, 100, 0)}, idle{}, opts)
 	if err == nil || !strings.Contains(err.Error(), "stalled") {
@@ -330,7 +330,7 @@ func TestStarvationDetected(t *testing.T) {
 
 func TestImpossibleJobRejectedUpfront(t *testing.T) {
 	c := cluster.New(gpu.Fleet{gpu.V100: 2})
-	_, err := Run(c, []*job.Job{simpleJob(0, 3, 100, 0)}, fifo{}, DefaultOptions())
+	_, err := Run(c, []*job.Job{simpleJob(0, 3, 100, 0)}, fifo{}, ValidatedOptions())
 	if err == nil || !strings.Contains(err.Error(), "never be placed") {
 		t.Errorf("oversized job accepted: %v", err)
 	}
@@ -341,14 +341,14 @@ func TestUnusableTypeCountsExcluded(t *testing.T) {
 	c := cluster.New(gpu.Fleet{gpu.V100: 1, gpu.K80: 8})
 	j := simpleJob(0, 2, 100, 0)
 	j.Throughput = map[gpu.Type]float64{gpu.V100: 10}
-	_, err := Run(c, []*job.Job{j}, fifo{}, DefaultOptions())
+	_, err := Run(c, []*job.Job{j}, fifo{}, ValidatedOptions())
 	if err == nil {
 		t.Error("job unplaceable on usable types accepted")
 	}
 }
 
 func TestEmptyTraceRejected(t *testing.T) {
-	if _, err := Run(twoNodeCluster(), nil, fifo{}, DefaultOptions()); err == nil {
+	if _, err := Run(twoNodeCluster(), nil, fifo{}, ValidatedOptions()); err == nil {
 		t.Error("empty trace accepted")
 	}
 }
@@ -356,12 +356,12 @@ func TestEmptyTraceRejected(t *testing.T) {
 func TestBadOptionsRejected(t *testing.T) {
 	c := twoNodeCluster()
 	jobs := []*job.Job{simpleJob(0, 1, 100, 0)}
-	opts := DefaultOptions()
+	opts := ValidatedOptions()
 	opts.RoundLength = 0
 	if _, err := Run(c, jobs, fifo{}, opts); err == nil {
 		t.Error("zero round length accepted")
 	}
-	opts = DefaultOptions()
+	opts = ValidatedOptions()
 	opts.FlatDelay = 400
 	if _, err := Run(c, jobs, fifo{}, opts); err == nil {
 		t.Error("delay longer than round accepted")
@@ -377,11 +377,11 @@ func TestDeterminism(t *testing.T) {
 			simpleJob(2, 1, 3000, 400),
 		}
 	}
-	a, err := Run(c, mkJobs(), fifo{}, DefaultOptions())
+	a, err := Run(c, mkJobs(), fifo{}, ValidatedOptions())
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := Run(c, mkJobs(), fifo{}, DefaultOptions())
+	b, err := Run(c, mkJobs(), fifo{}, ValidatedOptions())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -399,7 +399,7 @@ func TestRunDoesNotMutateInputOrder(t *testing.T) {
 		simpleJob(5, 1, 100, 500),
 		simpleJob(3, 1, 100, 0),
 	}
-	if _, err := Run(c, jobs, fifo{}, DefaultOptions()); err != nil {
+	if _, err := Run(c, jobs, fifo{}, ValidatedOptions()); err != nil {
 		t.Fatal(err)
 	}
 	if jobs[0].ID != 5 || jobs[1].ID != 3 {
@@ -412,11 +412,11 @@ func TestStragglerSlowsJob(t *testing.T) {
 	cSlow := cluster.New(gpu.Fleet{gpu.V100: 2})
 	cSlow.SetSpeed(0, 0.5)
 	mk := func() *job.Job { return simpleJob(0, 2, 4000, 0) }
-	rf, err := Run(cFast, []*job.Job{mk()}, fifo{}, DefaultOptions())
+	rf, err := Run(cFast, []*job.Job{mk()}, fifo{}, ValidatedOptions())
 	if err != nil {
 		t.Fatal(err)
 	}
-	rs, err := Run(cSlow, []*job.Job{mk()}, fifo{}, DefaultOptions())
+	rs, err := Run(cSlow, []*job.Job{mk()}, fifo{}, ValidatedOptions())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -428,7 +428,7 @@ func TestStragglerSlowsJob(t *testing.T) {
 
 func TestDecisionAccounting(t *testing.T) {
 	c := twoNodeCluster()
-	r, err := Run(c, []*job.Job{simpleJob(0, 1, 5000, 0)}, fifo{}, DefaultOptions())
+	r, err := Run(c, []*job.Job{simpleJob(0, 1, 5000, 0)}, fifo{}, ValidatedOptions())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -457,8 +457,8 @@ func TestCheckpointContentionSlowsColocatedRestarts(t *testing.T) {
 	mkJobs := func() []*job.Job {
 		return []*job.Job{simpleJob(0, 2, 20000, 0), simpleJob(1, 2, 20000, 0)}
 	}
-	base := DefaultOptions()
-	withContention := DefaultOptions()
+	base := ValidatedOptions()
+	withContention := ValidatedOptions()
 	withContention.CheckpointContention = true
 	r1, err := Run(c, mkJobs(), multiChurn{}, base)
 	if err != nil {
@@ -476,8 +476,8 @@ func TestCheckpointContentionSlowsColocatedRestarts(t *testing.T) {
 func TestCheckpointContentionNoEffectWithoutRealloc(t *testing.T) {
 	c := twoNodeCluster()
 	mk := func() *job.Job { return simpleJob(0, 2, 20000, 0) }
-	base := DefaultOptions()
-	withContention := DefaultOptions()
+	base := ValidatedOptions()
+	withContention := ValidatedOptions()
 	withContention.CheckpointContention = true
 	r1, err := Run(c, []*job.Job{mk()}, fifo{}, base)
 	if err != nil {
@@ -498,7 +498,7 @@ func TestFailureHidesNodeFromScheduler(t *testing.T) {
 	// still completes.
 	c := cluster.New(gpu.Fleet{gpu.V100: 2}, gpu.Fleet{gpu.V100: 2})
 	j := simpleJob(0, 2, 20000, 0) // ~1000s of work
-	opts := DefaultOptions()
+	opts := ValidatedOptions()
 	opts.Failures = []Failure{{Node: 0, Start: 360, End: 1080}}
 	r, err := Run(c, []*job.Job{j}, fifo{}, opts)
 	if err != nil {
@@ -519,12 +519,12 @@ func TestSurpriseFailureLosesRoundProgress(t *testing.T) {
 	// job waits out the outage and finishes late.
 	c := cluster.New(gpu.Fleet{gpu.V100: 2})
 	mk := func() *job.Job { return simpleJob(0, 2, 1000, 0) } // 50s work
-	clean := DefaultOptions()
+	clean := ValidatedOptions()
 	rClean, err := Run(c, []*job.Job{mk()}, fifo{}, clean)
 	if err != nil {
 		t.Fatal(err)
 	}
-	faulty := DefaultOptions()
+	faulty := ValidatedOptions()
 	faulty.Failures = []Failure{{Node: 0, Start: 100, End: 700}}
 	rFaulty, err := Run(c, []*job.Job{mk()}, fifo{}, faulty)
 	if err != nil {
@@ -559,7 +559,7 @@ func TestFailureExcludedFromSchedulerView(t *testing.T) {
 	// capacity again once the outage ends.
 	c := cluster.New(gpu.Fleet{gpu.V100: 2}, gpu.Fleet{gpu.V100: 2})
 	var caps []int
-	opts := DefaultOptions()
+	opts := ValidatedOptions()
 	opts.Failures = []Failure{{Node: 0, Start: 360, End: 1080}}
 	if _, err := Run(c, []*job.Job{simpleJob(0, 2, 40000, 0)}, capacityProbe{caps: &caps}, opts); err != nil {
 		t.Fatal(err)
@@ -577,7 +577,7 @@ func TestFailureExcludedFromSchedulerView(t *testing.T) {
 
 func TestFailureFaultCountersAccounted(t *testing.T) {
 	c := cluster.New(gpu.Fleet{gpu.V100: 2})
-	clean, err := Run(c, []*job.Job{simpleJob(0, 2, 1000, 0)}, fifo{}, DefaultOptions())
+	clean, err := Run(c, []*job.Job{simpleJob(0, 2, 1000, 0)}, fifo{}, ValidatedOptions())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -588,7 +588,7 @@ func TestFailureFaultCountersAccounted(t *testing.T) {
 	// The outage begins mid-round 0 (invisible to the scheduler at
 	// t=0), so the job's entire 1000 iterations were in flight and are
 	// lost; the node is seen down for round 1 and up again at t=720.
-	opts := DefaultOptions()
+	opts := ValidatedOptions()
 	opts.Failures = []Failure{{Node: 0, Start: 100, End: 700}}
 	r, err := Run(c, []*job.Job{simpleJob(0, 2, 1000, 0)}, fifo{}, opts)
 	if err != nil {
@@ -608,7 +608,7 @@ func TestFailureFaultCountersAccounted(t *testing.T) {
 
 func TestFailureWindowValidation(t *testing.T) {
 	c := twoNodeCluster()
-	opts := DefaultOptions()
+	opts := ValidatedOptions()
 	opts.Failures = []Failure{{Node: 0, Start: 100, End: 100}}
 	if _, err := Run(c, []*job.Job{simpleJob(0, 1, 100, 0)}, fifo{}, opts); err == nil {
 		t.Error("empty failure window accepted")
@@ -617,7 +617,7 @@ func TestFailureWindowValidation(t *testing.T) {
 
 func TestFailureOfWholeClusterStalls(t *testing.T) {
 	c := cluster.New(gpu.Fleet{gpu.V100: 2})
-	opts := DefaultOptions()
+	opts := ValidatedOptions()
 	opts.StallLimit = 5
 	opts.Failures = []Failure{{Node: 0, Start: 0, End: 1e9}}
 	_, err := Run(c, []*job.Job{simpleJob(0, 1, 100, 0)}, fifo{}, opts)
@@ -633,7 +633,7 @@ func TestEventLogRecordsLifecycle(t *testing.T) {
 		simpleJob(1, 2, 5000, 400),
 	}
 	var buf bytes.Buffer
-	opts := DefaultOptions()
+	opts := ValidatedOptions()
 	opts.EventLog = &buf
 	opts.Failures = []Failure{{Node: 1, Start: 360, End: 720}}
 	if _, err := Run(c, jobs, fifo{}, opts); err != nil {
