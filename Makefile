@@ -1,18 +1,18 @@
 # Repro of "Hadar: Heterogeneity-Aware Optimization-Based Online
 # Scheduling for Deep Learning Cluster".
 #
-# `make check` is the full gate CI runs: build, vet, and the test suite
-# under the race detector (the allocation-state layer is mutable shared
-# scratch; -race guards against anyone threading it by accident; the
-# rpccluster fault tests — including the always-on single-seed chaos
-# run — are part of the suite, so the control plane's retry/recovery
-# paths are raced on every check).
+# `make check` is the single local entry point and the gate CI runs:
+# build, vet, repolint (the repository's domain-aware static-analysis
+# suite, see internal/lint), the test suite, and per-package coverage
+# floors. CI additionally runs the suite under the race detector (the
+# `race` target) as its own job; run it locally before touching the
+# control plane.
 
 GO ?= go
 
-.PHONY: check build vet test race bench-smoke bench experiments chaos fuzz-smoke cover
+.PHONY: check build vet lint test race stress bench-smoke bench experiments chaos fuzz-smoke cover
 
-check: build vet race
+check: build vet lint test cover
 
 build:
 	$(GO) build ./...
@@ -20,11 +20,26 @@ build:
 vet:
 	$(GO) vet ./...
 
+# lint runs go vet plus repolint, the in-tree static-analysis suite
+# enforcing determinism (no wall clock, no global rand, no map-order
+# dependence in scheduler-path packages), numeric safety, concurrency
+# hygiene, and API discipline. `go run ./cmd/repolint -rules` lists the
+# rule catalogue; suppress site-by-site with
+# `//lint:ignore <rule> <reason>`.
+lint: vet
+	$(GO) run ./cmd/repolint .
+
 test:
 	$(GO) test ./...
 
 race:
 	$(GO) test -race ./...
+
+# stress re-runs the live control plane's suite several times under the
+# race detector: the heartbeat/reconnect/chaos paths are the only truly
+# concurrent code, and their races only show up across repeated runs.
+stress:
+	$(GO) test -race -count=5 ./internal/rpccluster
 
 # bench-smoke runs each allocation-state microbenchmark once: a fast
 # regression canary that the hot path still runs, not a measurement.

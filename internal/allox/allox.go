@@ -104,8 +104,11 @@ func (s *Scheduler) Schedule(ctx *sched.Context) map[int]cluster.Alloc {
 		}
 	}
 	sort.SliceStable(pairs, func(a, b int) bool {
-		if pairs[a].score != pairs[b].score {
-			return pairs[a].score > pairs[b].score
+		if pairs[a].score > pairs[b].score {
+			return true
+		}
+		if pairs[a].score < pairs[b].score {
+			return false
 		}
 		if pairs[a].ji != pairs[b].ji {
 			return jobs[pairs[a].ji].Job.ID < jobs[pairs[b].ji].Job.ID

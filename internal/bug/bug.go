@@ -1,0 +1,23 @@
+// Package bug is the designated invariant-violation hook: the single
+// place outside test files where the repository is allowed to panic.
+//
+// A call to Failf asserts an *internal* invariant — a programmer error
+// that no input can legitimately produce (a heap popped while empty, a
+// savepoint committed twice, an allocation the scheduler itself priced
+// but that no longer fits). Input errors must be returned as errors;
+// they never go through this package.
+//
+// Funneling every panic through one hook keeps the policy enforceable:
+// repolint's `panicrule` analyzer forbids the panic builtin in library
+// code everywhere except here, so a stray panic in the scheduler path
+// fails `make lint` instead of surfacing as a crashed run.
+package bug
+
+import "fmt"
+
+// Failf reports a violated internal invariant and panics with the
+// formatted message as an error value, so a recover() at a process
+// boundary can treat it uniformly with other errors. It never returns.
+func Failf(format string, args ...any) {
+	panic(fmt.Errorf(format, args...))
+}

@@ -1,0 +1,23 @@
+package bug
+
+import "testing"
+
+// TestFailfPanicsWithError pins the hook's contract: it always panics,
+// and the panic value is an error carrying the formatted message, so a
+// recover() at a process boundary handles it like any other error.
+func TestFailfPanicsWithError(t *testing.T) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("Failf did not panic")
+		}
+		err, ok := r.(error)
+		if !ok {
+			t.Fatalf("panic value %T is not an error", r)
+		}
+		if want := "pkg: broken invariant 42"; err.Error() != want {
+			t.Fatalf("panic message %q, want %q", err.Error(), want)
+		}
+	}()
+	Failf("pkg: broken invariant %d", 42)
+}

@@ -19,7 +19,7 @@
 // model size, not with cluster size.
 package checkpoint
 
-import "fmt"
+import "repro/internal/bug"
 
 // Cost holds the time (seconds) a model spends on checkpoint traffic.
 type Cost struct {
@@ -69,7 +69,7 @@ func Models() []string {
 // Table IV reports (at roundSeconds = 360).
 func Overhead(model string, roundSeconds float64, realloc bool) float64 {
 	if roundSeconds <= 0 {
-		panic(fmt.Sprintf("checkpoint: non-positive round length %v", roundSeconds))
+		bug.Failf("checkpoint: non-positive round length %v", roundSeconds)
 	}
 	c := Lookup(model)
 	t := c.Save

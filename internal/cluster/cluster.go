@@ -14,6 +14,7 @@ import (
 	"sort"
 	"strings"
 
+	"repro/internal/bug"
 	"repro/internal/gpu"
 )
 
@@ -84,7 +85,7 @@ func (c *Cluster) Nodes() []Node { return c.nodes }
 // SetSpeed sets node id's straggler factor. It panics if speed <= 0.
 func (c *Cluster) SetSpeed(id int, speed float64) {
 	if speed <= 0 {
-		panic(fmt.Sprintf("cluster: non-positive speed %v for node %d", speed, id))
+		bug.Failf("cluster: non-positive speed %v for node %d", speed, id)
 	}
 	c.nodes[id].Speed = speed
 }
@@ -205,6 +206,7 @@ func (a Alloc) Canonical() Alloc {
 		}
 	}
 	out := make(Alloc, 0, len(merged))
+	//lint:ignore maprange the result is fully sorted by (node, type) immediately below
 	for k, count := range merged {
 		out = append(out, Placement{Node: k[0], Type: gpu.Type(k[1]), Count: count})
 	}

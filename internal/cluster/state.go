@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 
+	"repro/internal/bug"
 	"repro/internal/gpu"
 )
 
@@ -25,12 +26,12 @@ import (
 // must be rolled back or committed first. A State is not safe for
 // concurrent use.
 type State struct {
-	c     *Cluster
-	free  []int32 // node*gpu.NumTypes + type
-	cap   []int32 // same layout; immutable after NewState
+	c      *Cluster
+	free   []int32 // node*gpu.NumTypes + type
+	cap    []int32 // same layout; immutable after NewState
 	byType [gpu.NumTypes]int
-	total int
-	hash  uint64
+	total  int
+	hash   uint64
 
 	// Undo journal, recorded only while at least one savepoint is open.
 	journal []journalEntry
@@ -63,7 +64,11 @@ func NewState(c *Cluster) *State {
 	n := c.NumNodes() * stride
 	s := &State{c: c, free: make([]int32, n), cap: make([]int32, n)}
 	for i, node := range c.nodes {
-		for t, count := range node.Capacity {
+		for t := gpu.Type(0); t < gpu.NumTypes; t++ {
+			count := node.Capacity[t]
+			if count == 0 {
+				continue
+			}
 			cell := i*stride + int(t)
 			s.free[cell] = int32(count)
 			s.cap[cell] = int32(count)
@@ -165,7 +170,7 @@ func (s *State) Savepoint() int {
 // closed token, which indicates broken stack discipline.
 func (s *State) Rollback(sp int) {
 	if sp >= len(s.marks) {
-		panic(fmt.Sprintf("cluster: rollback of closed savepoint %d (open: %d)", sp, len(s.marks)))
+		bug.Failf("cluster: rollback of closed savepoint %d (open: %d)", sp, len(s.marks))
 	}
 	mark := s.marks[sp]
 	for i := len(s.journal) - 1; i >= mark; i-- {
@@ -180,7 +185,7 @@ func (s *State) Rollback(sp int) {
 // savepoint. It panics on an already closed token.
 func (s *State) Commit(sp int) {
 	if sp >= len(s.marks) {
-		panic(fmt.Sprintf("cluster: commit of closed savepoint %d (open: %d)", sp, len(s.marks)))
+		bug.Failf("cluster: commit of closed savepoint %d (open: %d)", sp, len(s.marks))
 	}
 	s.marks = s.marks[:sp]
 	if len(s.marks) == 0 {

@@ -287,11 +287,17 @@ func (s *Scheduler) fillType(arena *[]cluster.Placement, free *cluster.State, pt
 // node ID, with an allocation-free insertion sort.
 func sortByPrice(opts []fillOption) {
 	less := func(a, b fillOption) bool {
-		if a.price != b.price {
-			return a.price < b.price
+		if a.price < b.price {
+			return true
 		}
-		if a.speed != b.speed {
-			return a.speed > b.speed
+		if a.price > b.price {
+			return false
+		}
+		if a.speed > b.speed {
+			return true
+		}
+		if a.speed < b.speed {
+			return false
 		}
 		if a.avail != b.avail {
 			return a.avail > b.avail

@@ -1,9 +1,9 @@
 package core
 
 import (
-	"fmt"
 	"sort"
 
+	"repro/internal/bug"
 	"repro/internal/cluster"
 	"repro/internal/gpu"
 	"repro/internal/sched"
@@ -102,13 +102,13 @@ type Scheduler struct {
 // misconfiguration fails fast at construction.
 func New(opts Options) *Scheduler {
 	if err := validateUtility(opts.Utility); err != nil {
-		panic(err)
+		bug.Failf("core: %v", err)
 	}
 	if opts.CommCost < 0 || opts.Stickiness < 0 || opts.Stickiness >= 1 {
-		panic(fmt.Errorf("core: invalid CommCost %v / Stickiness %v", opts.CommCost, opts.Stickiness))
+		bug.Failf("core: invalid CommCost %v / Stickiness %v", opts.CommCost, opts.Stickiness)
 	}
 	if opts.DPJobLimit < 0 {
-		panic(fmt.Errorf("core: negative DPJobLimit %d", opts.DPJobLimit))
+		bug.Failf("core: negative DPJobLimit %d", opts.DPJobLimit)
 	}
 	return &Scheduler{opts: opts}
 }
@@ -152,7 +152,7 @@ func (s *Scheduler) Inconsistencies() int { return s.inconsistencies }
 func (s *Scheduler) noteInconsistency(err error) {
 	s.inconsistencies++
 	if PanicOnInconsistency {
-		panic(fmt.Errorf("core: inconsistent allocation decision: %w", err))
+		bug.Failf("core: inconsistent allocation decision: %v", err)
 	}
 }
 
@@ -188,8 +188,16 @@ func (s *Scheduler) Schedule(ctx *sched.Context) map[int]cluster.Alloc {
 // in the same priority order, making the schedule work-conserving.
 func (s *Scheduler) backfill(ctx *sched.Context, queue []*sched.JobState, jobTypes [][]gpu.Type, pt *priceTable, out map[int]cluster.Alloc) {
 	free := cluster.NewState(ctx.Cluster)
-	for _, a := range out {
-		if err := free.Allocate(a); err != nil {
+	// Replay prior decisions in job-ID order so that, if the pass below
+	// ever produced jointly infeasible decisions, the same one is blamed
+	// on every run.
+	ids := make([]int, 0, len(out))
+	for id := range out {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		if err := free.Allocate(out[id]); err != nil {
 			// The primal-dual pass produced jointly infeasible decisions;
 			// surface the bug and leave the decisions as-is.
 			s.noteInconsistency(err)
@@ -244,8 +252,11 @@ func (s *Scheduler) orderQueue(ctx *sched.Context) []*sched.JobState {
 	}
 	sort.SliceStable(queue, func(a, b int) bool {
 		da, db := density[queue[a].Job.ID], density[queue[b].Job.ID]
-		if da != db {
-			return da > db
+		if da > db {
+			return true
+		}
+		if da < db {
+			return false
 		}
 		return queue[a].Job.ID < queue[b].Job.ID
 	})

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/gpu"
+	"repro/internal/invariant"
 )
 
 // TestLemma3AllocationCostRelationship empirically validates the
@@ -72,12 +73,12 @@ func TestPriceBoundsScaleWithUtilityProperty(t *testing.T) {
 			if base.umax[typ] <= 0 {
 				continue
 			}
-			if math.Abs(scaled.umax[typ]-scale*base.umax[typ]) > 1e-6*scaled.umax[typ] {
+			if math.Abs(scaled.umax[typ]-scale*base.umax[typ]) > invariant.Tol*scaled.umax[typ] {
 				return false
 			}
 			aBase := math.Log(base.umax[typ] / base.umin[typ])
 			aScaled := math.Log(scaled.umax[typ] / scaled.umin[typ])
-			if math.Abs(aBase-aScaled) > 1e-6 {
+			if math.Abs(aBase-aScaled) > invariant.Tol {
 				return false
 			}
 		}

@@ -62,7 +62,7 @@ func (u InverseJCT) Value(j *job.Job, remaining, duration float64) float64 {
 		duration = 1e-9
 	}
 	scale := u.Scale
-	if scale == 0 {
+	if scale <= 0 {
 		scale = 3600 * float64(j.Workers)
 	}
 	return scale / duration

@@ -7,7 +7,8 @@ package eventq
 
 import (
 	"container/heap"
-	"fmt"
+
+	"repro/internal/bug"
 )
 
 // Event is a timestamped payload in an EventQueue. Ties on Time are
@@ -30,8 +31,11 @@ type eventHeap []Event
 
 func (h eventHeap) Len() int { return len(h) }
 func (h eventHeap) Less(i, j int) bool {
-	if h[i].Time != h[j].Time {
-		return h[i].Time < h[j].Time
+	if h[i].Time < h[j].Time {
+		return true
+	}
+	if h[i].Time > h[j].Time {
+		return false
 	}
 	return h[i].Seq < h[j].Seq
 }
@@ -55,7 +59,7 @@ func (q *EventQueue) Push(time float64, payload interface{}) {
 // queue; check Len first.
 func (q *EventQueue) Pop() Event {
 	if len(q.h) == 0 {
-		panic("eventq: Pop on empty EventQueue")
+		bug.Failf("eventq: Pop on empty EventQueue")
 	}
 	return heap.Pop(&q.h).(Event)
 }
@@ -64,7 +68,7 @@ func (q *EventQueue) Pop() Event {
 // empty queue.
 func (q *EventQueue) Peek() Event {
 	if len(q.h) == 0 {
-		panic("eventq: Peek on empty EventQueue")
+		bug.Failf("eventq: Peek on empty EventQueue")
 	}
 	return q.h[0]
 }
@@ -91,8 +95,11 @@ func (x *Indexed) Len() int { return len(x.ids) }
 
 func (x *Indexed) less(i, j int) bool {
 	pi, pj := x.prio[x.ids[i]], x.prio[x.ids[j]]
-	if pi != pj {
-		return pi < pj
+	if pi < pj {
+		return true
+	}
+	if pi > pj {
+		return false
 	}
 	return x.ids[i] < x.ids[j]
 }
@@ -137,7 +144,7 @@ func (x *Indexed) down(i int) {
 // present; use Update instead.
 func (x *Indexed) Push(id int, priority float64) {
 	if _, ok := x.pos[id]; ok {
-		panic(fmt.Sprintf("eventq: duplicate id %d", id))
+		bug.Failf("eventq: duplicate id %d", id)
 	}
 	x.ids = append(x.ids, id)
 	x.prio[id] = priority
@@ -149,7 +156,7 @@ func (x *Indexed) Push(id int, priority float64) {
 // priority. It panics on an empty heap.
 func (x *Indexed) Pop() (int, float64) {
 	if len(x.ids) == 0 {
-		panic("eventq: Pop on empty Indexed heap")
+		bug.Failf("eventq: Pop on empty Indexed heap")
 	}
 	id := x.ids[0]
 	p := x.prio[id]
@@ -161,7 +168,7 @@ func (x *Indexed) Pop() (int, float64) {
 // panics on an empty heap.
 func (x *Indexed) Peek() (int, float64) {
 	if len(x.ids) == 0 {
-		panic("eventq: Peek on empty Indexed heap")
+		bug.Failf("eventq: Peek on empty Indexed heap")
 	}
 	return x.ids[0], x.prio[x.ids[0]]
 }
@@ -183,7 +190,7 @@ func (x *Indexed) Priority(id int) (float64, bool) {
 func (x *Indexed) Update(id int, priority float64) {
 	i, ok := x.pos[id]
 	if !ok {
-		panic(fmt.Sprintf("eventq: Update of absent id %d", id))
+		bug.Failf("eventq: Update of absent id %d", id)
 	}
 	x.prio[id] = priority
 	x.up(i)
@@ -194,7 +201,7 @@ func (x *Indexed) Update(id int, priority float64) {
 func (x *Indexed) Remove(id int) {
 	i, ok := x.pos[id]
 	if !ok {
-		panic(fmt.Sprintf("eventq: Remove of absent id %d", id))
+		bug.Failf("eventq: Remove of absent id %d", id)
 	}
 	last := len(x.ids) - 1
 	x.swap(i, last)

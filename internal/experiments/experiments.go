@@ -136,7 +136,7 @@ func (c *Comparison) Speedup(a, b string, metric func(*metrics.Report) float64) 
 		return 0
 	}
 	va := metric(ra)
-	if va == 0 {
+	if va <= 0 {
 		return 0
 	}
 	return metric(rb) / va

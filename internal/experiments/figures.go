@@ -468,6 +468,7 @@ func (f *Fig9Result) String() string {
 		fmt.Fprintf(&sb, "%14.0f", rm)
 		for _, rate := range rates {
 			for _, p := range f.Points {
+				//lint:ignore floateq exact grid identity: rm and rate were copied, never computed, from these same points
 				if p.RoundMinutes == rm && p.RatePerHour == rate {
 					fmt.Fprintf(&sb, "%12.2f", p.AvgJCT/3600)
 				}

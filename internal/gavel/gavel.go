@@ -99,8 +99,11 @@ func (s *Scheduler) Schedule(ctx *sched.Context) map[int]cluster.Alloc {
 		}
 	}
 	sort.SliceStable(pairs, func(a, b int) bool {
-		if pairs[a].priority != pairs[b].priority {
-			return pairs[a].priority > pairs[b].priority
+		if pairs[a].priority > pairs[b].priority {
+			return true
+		}
+		if pairs[a].priority < pairs[b].priority {
+			return false
 		}
 		if pairs[a].st.Job.ID != pairs[b].st.Job.ID {
 			return pairs[a].st.Job.ID < pairs[b].st.Job.ID

@@ -45,9 +45,15 @@ import (
 	"repro/internal/metrics"
 )
 
-// tol is the relative floating-point tolerance for conservation and
-// bound checks.
-const tol = 1e-6
+// Tol is the repository's shared floating-point tolerance: the relative
+// epsilon for conservation and bound checks here, and the comparison
+// epsilon anywhere price or utility values computed along different
+// paths must be deemed equal. Exact ==/!= on such values is forbidden
+// by repolint's floateq rule.
+const Tol = 1e-6
+
+// tol aliases Tol for the package-internal checks below.
+const tol = Tol
 
 // maxViolations caps how many violations a checker stores; further ones
 // are counted but dropped, so a badly broken scheduler cannot flood

@@ -115,8 +115,8 @@ func TestGangViolation(t *testing.T) {
 	c := testCluster()
 	k := NewChecker(c)
 	k.CheckRound(round(c, JobRound{
-		Job:   testJob(0, 4),
-		Alloc: cluster.Alloc{{Node: 0, Type: gpu.V100, Count: 3}},
+		Job:             testJob(0, 4),
+		Alloc:           cluster.Alloc{{Node: 0, Type: gpu.V100, Count: 3}},
 		RemainingBefore: 1000, RemainingAfter: 1000, Window: 350,
 	}))
 	wantViolation(t, k, "gang")
@@ -129,8 +129,8 @@ func TestJointCapacityViolation(t *testing.T) {
 	mk := func(id int) JobRound {
 		j := testJob(id, 3)
 		return JobRound{
-			Job:   j,
-			Alloc: cluster.Alloc{{Node: 0, Type: gpu.V100, Count: 3}},
+			Job:             j,
+			Alloc:           cluster.Alloc{{Node: 0, Type: gpu.V100, Count: 3}},
 			RemainingBefore: 10000, RemainingAfter: 10000 - 3*10*350, Window: 350,
 		}
 	}
@@ -142,16 +142,16 @@ func TestInvalidPlacementViolations(t *testing.T) {
 	c := testCluster()
 	k := NewChecker(c)
 	k.CheckRound(round(c, JobRound{
-		Job:   testJob(0, 2),
-		Alloc: cluster.Alloc{{Node: 99, Type: gpu.V100, Count: 2}},
+		Job:             testJob(0, 2),
+		Alloc:           cluster.Alloc{{Node: 99, Type: gpu.V100, Count: 2}},
 		RemainingBefore: 100, RemainingAfter: 100, Window: 350,
 	}))
 	wantViolation(t, k, "capacity")
 
 	k = NewChecker(c)
 	k.CheckRound(round(c, JobRound{
-		Job:   testJob(0, 2),
-		Alloc: cluster.Alloc{{Node: 0, Type: gpu.V100, Count: 3}, {Node: 0, Type: gpu.V100, Count: -1}},
+		Job:             testJob(0, 2),
+		Alloc:           cluster.Alloc{{Node: 0, Type: gpu.V100, Count: 3}, {Node: 0, Type: gpu.V100, Count: -1}},
 		RemainingBefore: 100, RemainingAfter: 100, Window: 350,
 	}))
 	wantViolation(t, k, "capacity")
@@ -162,8 +162,8 @@ func TestUnusableTypeViolation(t *testing.T) {
 	k := NewChecker(c)
 	j := testJob(0, 2) // cannot use P100
 	k.CheckRound(round(c, JobRound{
-		Job:   j,
-		Alloc: cluster.Alloc{{Node: 0, Type: gpu.P100, Count: 2}},
+		Job:             j,
+		Alloc:           cluster.Alloc{{Node: 0, Type: gpu.P100, Count: 2}},
 		RemainingBefore: 100, RemainingAfter: 100, Window: 350,
 	}))
 	wantViolation(t, k, "usable-type")
@@ -173,8 +173,8 @@ func TestDownNodeViolation(t *testing.T) {
 	c := testCluster()
 	k := NewChecker(c)
 	r := round(c, JobRound{
-		Job:   testJob(0, 2),
-		Alloc: cluster.Alloc{{Node: 0, Type: gpu.V100, Count: 2}},
+		Job:             testJob(0, 2),
+		Alloc:           cluster.Alloc{{Node: 0, Type: gpu.V100, Count: 2}},
 		RemainingBefore: 10000, RemainingAfter: 3000, Window: 350,
 	})
 	r.Down = map[int]bool{0: true}
@@ -188,7 +188,7 @@ type fakePrices struct {
 	at         func(t gpu.Type, frac float64) float64
 }
 
-func (f fakePrices) PriceBounds() (umin, umax []float64)    { return f.umin, f.umax }
+func (f fakePrices) PriceBounds() (umin, umax []float64)      { return f.umin, f.umax }
 func (f fakePrices) PriceAt(t gpu.Type, frac float64) float64 { return f.at(t, frac) }
 
 func TestPriceMonotonicityEnforced(t *testing.T) {
@@ -354,8 +354,8 @@ func TestViolationCapAndErrSummary(t *testing.T) {
 	c := testCluster()
 	k := NewChecker(c)
 	bad := JobRound{
-		Job:   testJob(0, 4),
-		Alloc: cluster.Alloc{{Node: 0, Type: gpu.V100, Count: 3}},
+		Job:             testJob(0, 4),
+		Alloc:           cluster.Alloc{{Node: 0, Type: gpu.V100, Count: 3}},
 		RemainingBefore: 100, RemainingAfter: 100, Window: 350,
 	}
 	for i := 0; i < maxViolations+10; i++ {

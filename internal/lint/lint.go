@@ -1,0 +1,340 @@
+// Package lint is a zero-dependency, domain-aware static-analysis
+// engine for this repository, built directly on the standard library's
+// go/parser + go/types stack (no golang.org/x/tools).
+//
+// The analyzers encode the properties the scheduler's correctness
+// story leans on and that no test can reliably flag when they rot:
+//
+//   - determinism: the golden schedule digests and the differential /
+//     metamorphic oracles (internal/conformance) require bit-identical
+//     replays, which a single wall-clock read, global-RNG call, or
+//     unsorted map iteration silently destroys;
+//   - numeric safety: the dual-price arithmetic (Eq. 5-8) is exact
+//     float math compared against tolerances — raw ==/!= between
+//     floats and undocumented cross-round accumulation are bugs in
+//     waiting;
+//   - concurrency hygiene: the live control plane is the only
+//     concurrent subsystem; copied locks, uncancellable goroutines and
+//     unpaired Lock/Unlock are how it breaks;
+//   - API discipline: library code must not panic outside the
+//     designated invariant-violation hook (internal/bug) and must not
+//     write to stdout outside cmd/.
+//
+// Diagnostics are suppressed site-by-site with
+//
+//	//lint:ignore <rule>[,<rule>...] <reason>
+//
+// where the reason is mandatory: a suppression without one is itself a
+// diagnostic. A directive covers its own source line and the line
+// immediately below it, so it works both as a trailing comment and as
+// a comment line above the flagged statement. Unused directives are
+// reported too, so stale suppressions cannot accumulate.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one finding, resolved to a file position.
+type Diagnostic struct {
+	Pos     token.Position
+	Rule    string
+	Message string
+}
+
+// String renders the diagnostic in the conventional file:line:col form.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Rule, d.Message)
+}
+
+// Pass is the per-(package, analyzer) context handed to Analyzer.Run.
+type Pass struct {
+	Pkg  *Package
+	diag *[]Diagnostic
+	rule string
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diag = append(*p.diag, Diagnostic{
+		Pos:     p.Pkg.Fset.Position(pos),
+		Rule:    p.rule,
+		Message: fmt.Sprintf(format, args...),
+	})
+}
+
+// Analyzer is one named rule.
+type Analyzer struct {
+	// Name is the rule name used in diagnostics and suppression
+	// directives (short, lower-case, no spaces).
+	Name string
+	// Doc is a one-paragraph description of what the rule enforces and
+	// why, shown by `repolint -rules`.
+	Doc string
+	// Run inspects one type-checked package and reports findings.
+	Run func(p *Pass)
+}
+
+// Config scopes rules to package paths. Paths are import paths; a
+// pattern ending in "/..." matches the prefix, anything else matches
+// exactly.
+type Config struct {
+	// Only restricts a rule to the listed patterns. A rule with no
+	// entry runs everywhere. An empty (non-nil) list disables the rule.
+	Only map[string][]string
+	// Skip exempts the listed patterns from a rule, applied after Only.
+	Skip map[string][]string
+}
+
+// matchPath reports whether the import path matches the pattern.
+func matchPath(pattern, path string) bool {
+	if prefix, ok := strings.CutSuffix(pattern, "/..."); ok {
+		return path == prefix || strings.HasPrefix(path, prefix+"/")
+	}
+	return path == pattern
+}
+
+func matchAny(patterns []string, path string) bool {
+	for _, p := range patterns {
+		if matchPath(p, path) {
+			return true
+		}
+	}
+	return false
+}
+
+// inScope reports whether the rule applies to the package path under
+// the config.
+func (c *Config) inScope(rule, path string) bool {
+	if c == nil {
+		return true
+	}
+	if only, ok := c.Only[rule]; ok && !matchAny(only, path) {
+		return false
+	}
+	if matchAny(c.Skip[rule], path) {
+		return false
+	}
+	return true
+}
+
+// schedulerPath lists the packages whose behavior feeds the schedule
+// digests: any nondeterminism here changes golden tests, differential
+// runs, and the paper's reported numbers.
+var schedulerPath = []string{
+	"repro/internal/core",
+	"repro/internal/sim",
+	"repro/internal/sched",
+	"repro/internal/gavel",
+	"repro/internal/tiresias",
+	"repro/internal/yarncs",
+	"repro/internal/policy",
+	"repro/internal/invariant",
+	"repro/internal/trace",
+	"repro/internal/eventq",
+	"repro/internal/cluster",
+}
+
+// reportingPath lists packages whose *output* must be reproducible run
+// to run (metrics tables, exported CSV/JSON, dashboard rendering, the
+// control plane's reconciliation), even though they are not priced
+// into the schedule itself.
+var reportingPath = []string{
+	"repro/internal/metrics",
+	"repro/internal/export",
+	"repro/internal/web",
+	"repro/internal/rpccluster",
+	"repro/internal/stats",
+	"repro/cmd/dashboard",
+}
+
+// DefaultConfig returns the repository's rule scoping.
+func DefaultConfig() *Config {
+	detScope := append(append([]string(nil), schedulerPath...), reportingPath...)
+	return &Config{
+		Only: map[string][]string{
+			// Wall-clock reads are forbidden where simulated time is the
+			// only legitimate clock. rpccluster is excluded: the live
+			// control plane's deadlines, backoff, and round pacing are
+			// genuinely wall-clock driven.
+			"wallclock": append(append([]string(nil), schedulerPath...),
+				"repro/internal/metrics", "repro/internal/export"),
+			"globalrand": detScope,
+			"maprange":   detScope,
+			// Cross-round accumulation matters where exact conservation
+			// and dual-price arithmetic live.
+			"floataccum": {"repro/internal/core", "repro/internal/invariant", "repro/internal/sim"},
+			"floateq":    {"repro/internal/..."},
+			"gostop":     {"repro/internal/rpccluster"},
+			"panicrule":  {"repro/internal/..."},
+		},
+		Skip: map[string][]string{
+			// internal/bug is the designated invariant-violation hook.
+			"panicrule": {"repro/internal/bug"},
+			// Binaries own their stdout.
+			"printrule": {"repro/cmd/...", "repro/examples/..."},
+		},
+	}
+}
+
+// Analyzers returns the full rule suite in a stable order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{
+		analyzerWallClock,
+		analyzerGlobalRand,
+		analyzerMapRange,
+		analyzerFloatEq,
+		analyzerFloatAccum,
+		analyzerLockCopy,
+		analyzerGoStop,
+		analyzerDeferUnlock,
+		analyzerPanic,
+		analyzerPrint,
+	}
+}
+
+// AnalyzerNames returns the rule names, for directive validation.
+func AnalyzerNames() map[string]bool {
+	names := make(map[string]bool)
+	for _, a := range Analyzers() {
+		names[a.Name] = true
+	}
+	return names
+}
+
+// directive is one parsed //lint:ignore comment.
+type directive struct {
+	pos    token.Position
+	rules  map[string]bool
+	reason string
+	broken string // non-empty: malformed, with the problem text
+	used   bool
+}
+
+// parseDirectives extracts //lint:ignore directives from a file,
+// validating rule names against known.
+func parseDirectives(fset *token.FileSet, f *ast.File, known map[string]bool) []*directive {
+	var out []*directive
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			text, ok := strings.CutPrefix(c.Text, "//")
+			if !ok {
+				continue // /* */ comments cannot carry directives
+			}
+			text = strings.TrimSpace(text)
+			rest, ok := strings.CutPrefix(text, "lint:ignore")
+			if !ok {
+				continue
+			}
+			d := &directive{pos: fset.Position(c.Pos()), rules: map[string]bool{}}
+			fields := strings.Fields(rest)
+			switch {
+			case len(fields) == 0:
+				d.broken = "missing rule name and reason"
+			case len(fields) == 1:
+				d.broken = "missing reason (a justification is mandatory)"
+			default:
+				for _, r := range strings.Split(fields[0], ",") {
+					if !known[r] {
+						d.broken = fmt.Sprintf("unknown rule %q", r)
+						break
+					}
+					d.rules[r] = true
+				}
+				d.reason = strings.Join(fields[1:], " ")
+			}
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// Run executes the analyzers over the packages under the config and
+// returns the surviving diagnostics sorted by position: findings not
+// covered by a directive, malformed directives, and unused directives.
+func Run(pkgs []*Package, analyzers []*Analyzer, cfg *Config) []Diagnostic {
+	known := map[string]bool{}
+	for _, a := range analyzers {
+		known[a.Name] = true
+	}
+
+	var raw []Diagnostic
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			if !cfg.inScope(a.Name, pkg.Path) {
+				continue
+			}
+			a.Run(&Pass{Pkg: pkg, diag: &raw, rule: a.Name})
+		}
+	}
+
+	// Index directives by (file, line): a directive covers its own line
+	// and the next one.
+	type key struct {
+		file string
+		line int
+	}
+	byLine := map[key][]*directive{}
+	var dirs []*directive
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, d := range parseDirectives(pkg.Fset, f, known) {
+				dirs = append(dirs, d)
+				if d.broken != "" {
+					continue
+				}
+				byLine[key{d.pos.Filename, d.pos.Line}] = append(byLine[key{d.pos.Filename, d.pos.Line}], d)
+				byLine[key{d.pos.Filename, d.pos.Line + 1}] = append(byLine[key{d.pos.Filename, d.pos.Line + 1}], d)
+			}
+		}
+	}
+
+	var out []Diagnostic
+	for _, d := range raw {
+		suppressed := false
+		for _, dir := range byLine[key{d.Pos.Filename, d.Pos.Line}] {
+			if dir.rules[d.Rule] {
+				dir.used = true
+				suppressed = true
+			}
+		}
+		if !suppressed {
+			out = append(out, d)
+		}
+	}
+	for _, d := range dirs {
+		switch {
+		case d.broken != "":
+			out = append(out, Diagnostic{Pos: d.pos, Rule: "lintdirective",
+				Message: "malformed //lint:ignore: " + d.broken})
+		case !d.used:
+			rules := make([]string, 0, len(d.rules))
+			for r := range d.rules {
+				rules = append(rules, r)
+			}
+			sort.Strings(rules)
+			out = append(out, Diagnostic{Pos: d.pos, Rule: "lintdirective",
+				Message: fmt.Sprintf("unused suppression for %s (no matching diagnostic on this or the next line)",
+					strings.Join(rules, ","))})
+		}
+	}
+
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Rule < b.Rule
+	})
+	return out
+}

@@ -1,0 +1,40 @@
+// Package deferunlock is a lint corpus: manual Lock/Unlock pairing in
+// multi-return functions.
+package deferunlock
+
+import "sync"
+
+type store struct {
+	mu sync.Mutex
+	m  map[int]int
+}
+
+// Bad unlocks manually in a function with two exits.
+func (s *store) Bad(k int) (int, bool) {
+	s.mu.Lock() // want "in a multi-return function without an immediate"
+	v, ok := s.m[k]
+	s.mu.Unlock()
+	if !ok {
+		return 0, false
+	}
+	return v, true
+}
+
+// Clean defers the unlock on the next line.
+func (s *store) Clean(k int) (int, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	v, ok := s.m[k]
+	if !ok {
+		return 0, false
+	}
+	return v, true
+}
+
+// CleanSingleExit pairs Lock/Unlock manually, which is fine with one
+// way out.
+func (s *store) CleanSingleExit(k, v int) {
+	s.mu.Lock()
+	s.m[k] = v
+	s.mu.Unlock()
+}

@@ -1,0 +1,30 @@
+// Package directives is a lint corpus for the suppression machinery:
+// justified suppressions silence findings; malformed, unknown-rule,
+// and stale directives are themselves diagnostics.
+package directives
+
+import "time"
+
+// Suppressed carries a justified suppression on the line above the
+// finding; nothing is reported.
+func Suppressed() time.Time {
+	//lint:ignore wallclock fixture: a justified suppression covers the next line
+	return time.Now()
+}
+
+// Trailing carries the suppression as a trailing comment on the
+// flagged line itself.
+func Trailing() time.Duration {
+	return time.Since(time.Time{}) //lint:ignore wallclock fixture: trailing-comment form
+}
+
+//lint:ignore wallclock
+func MissingReason() time.Time {
+	return time.Now()
+}
+
+//lint:ignore nosuchrule fixture: unknown rule names are rejected
+func UnknownRule() {}
+
+//lint:ignore wallclock fixture: matches nothing and must be reported stale
+func Unused() {}

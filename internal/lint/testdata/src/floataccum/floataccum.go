@@ -1,0 +1,41 @@
+// Package floataccum is a lint corpus: float accumulation into
+// persistent state inside loops.
+package floataccum
+
+type report struct {
+	busy float64
+	bins []float64
+}
+
+// Bad accumulates into a field across iterations with no documented
+// error budget.
+func Bad(r *report, xs []float64) {
+	for _, x := range xs {
+		r.busy += x // want "float accumulation into persistent state"
+	}
+}
+
+// BadIndexed accumulates into an element, same problem.
+func BadIndexed(r *report, xs []float64) {
+	for i, x := range xs {
+		r.bins[i%2] -= x // want "float accumulation into persistent state"
+	}
+}
+
+// Clean documents which check owns the accumulated error.
+func Clean(r *report, xs []float64) {
+	for _, x := range xs {
+		// Accumulates within the conservation check's tolerance.
+		r.busy += x
+	}
+}
+
+// CleanLocal accumulates into a function-local, which never outlives
+// the scope that can reason about it.
+func CleanLocal(xs []float64) float64 {
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum
+}

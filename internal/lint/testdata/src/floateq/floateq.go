@@ -1,0 +1,35 @@
+// Package floateq is a lint corpus: raw float equality vs epsilon and
+// ordered comparisons.
+package floateq
+
+const tol = 1e-9
+
+// BadEq compares floats with ==.
+func BadEq(a, b float64) bool {
+	return a == b // want "floating-point == comparison"
+}
+
+// BadNeq compares floats with !=.
+func BadNeq(a, b float32) bool {
+	return a != b // want "floating-point != comparison"
+}
+
+// Clean compares against an explicit epsilon.
+func Clean(a, b float64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d <= tol
+}
+
+// CleanInt compares integers, which is exact.
+func CleanInt(a, b int) bool { return a == b }
+
+// CleanOrdered breaks a sort tie with ordered comparisons only.
+func CleanOrdered(a, b float64) bool {
+	if a < b {
+		return true
+	}
+	return false
+}

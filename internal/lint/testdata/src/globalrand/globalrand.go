@@ -1,0 +1,18 @@
+// Package globalrand is a lint corpus: global math/rand functions vs
+// an explicitly seeded generator.
+package globalrand
+
+import "math/rand"
+
+// Bad draws from the process-global source.
+func Bad() int {
+	rand.Shuffle(3, func(i, j int) {}) // want "global math/rand function rand.Shuffle"
+	return rand.Intn(10)               // want "global math/rand function rand.Intn"
+}
+
+// Clean threads a seeded *rand.Rand; the constructors and the methods
+// on the seeded generator are allowed.
+func Clean(seed int64) float64 {
+	r := rand.New(rand.NewSource(seed))
+	return r.Float64()
+}

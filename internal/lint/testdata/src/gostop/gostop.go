@@ -1,0 +1,56 @@
+// Package gostop is a lint corpus: goroutines with and without a
+// visible cancellation path.
+package gostop
+
+import "context"
+
+// Bad launches a goroutine that can never be told to stop.
+func Bad(work func()) {
+	go func() { // want "goroutine without a visible cancellation/deadline path"
+		for {
+			work()
+		}
+	}()
+}
+
+// BadNamed launches a same-package function with no stop signal.
+func BadNamed(work func()) {
+	go spin(work) // want "goroutine without a visible cancellation/deadline path"
+}
+
+func spin(work func()) {
+	for {
+		work()
+	}
+}
+
+// CleanCtx observes a context.
+func CleanCtx(ctx context.Context, work func()) {
+	go func() {
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			default:
+				work()
+			}
+		}
+	}()
+}
+
+// CleanChan launches a same-package function whose declaration selects
+// on a stop channel; the analyzer resolves and inspects it.
+func CleanChan(stop chan struct{}, work func()) {
+	go loop(stop, work)
+}
+
+func loop(stop chan struct{}, work func()) {
+	for {
+		select {
+		case <-stop:
+			return
+		default:
+			work()
+		}
+	}
+}

@@ -1,0 +1,51 @@
+// Package lockcopy is a lint corpus: by-value copies of types holding
+// sync primitives.
+package lockcopy
+
+import "sync"
+
+type guarded struct {
+	mu sync.Mutex
+	n  int
+}
+
+type wrapper struct {
+	inner guarded
+}
+
+// BadParam takes a lock-holding type by value.
+func BadParam(g guarded) int { // want "parameter copies lock"
+	return g.n
+}
+
+// BadRecv has a value receiver over a lock-holding type.
+func (g guarded) BadRecv() int { // want "receiver copies lock"
+	return g.n
+}
+
+// BadAssign dereference-copies the whole struct, lock included.
+func BadAssign(g *guarded) int {
+	cp := *g // want "assignment copies lock"
+	return cp.n
+}
+
+// BadRange copies each element, nested lock included.
+func BadRange(gs []wrapper) int {
+	n := 0
+	for _, g := range gs { // want "range value copies lock"
+		n += g.inner.n
+	}
+	return n
+}
+
+// Clean passes a pointer and ranges by index.
+func Clean(gs []wrapper) int {
+	n := 0
+	for i := range gs {
+		g := &gs[i]
+		g.inner.mu.Lock()
+		n += g.inner.n
+		g.inner.mu.Unlock()
+	}
+	return n
+}

@@ -1,0 +1,36 @@
+// Package maprange is a lint corpus: ranging over maps vs the
+// collect-then-sort idiom.
+package maprange
+
+import "sort"
+
+// Bad iterates a map in randomized order and lets the order escape
+// through the early return.
+func Bad(m map[string]int) string {
+	for k, v := range m { // want "range over map"
+		if v > 0 {
+			return k
+		}
+	}
+	return ""
+}
+
+// Clean collects the keys (the one permitted range-over-map shape) and
+// sorts them before use.
+func Clean(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// CleanSlice ranges over a slice, which is ordered.
+func CleanSlice(xs []int) int {
+	total := 0
+	for _, x := range xs {
+		total += x
+	}
+	return total
+}

@@ -1,0 +1,29 @@
+// Package panicrule is a lint corpus: the panic builtin in library
+// code.
+package panicrule
+
+import "errors"
+
+// Bad panics on an input problem.
+func Bad(n int) {
+	if n < 0 {
+		panic("negative input") // want "panic in library code"
+	}
+}
+
+var errNegative = errors.New("negative input")
+
+// Clean returns the error instead.
+func Clean(n int) error {
+	if n < 0 {
+		return errNegative
+	}
+	return nil
+}
+
+// CleanShadow calls a local function that shadows the builtin's name;
+// only the builtin is forbidden.
+func CleanShadow() {
+	panic := func(string) {}
+	panic("not the builtin")
+}

@@ -1,0 +1,24 @@
+// Package printrule is a lint corpus: writing to process stdout from
+// library code.
+package printrule
+
+import (
+	"fmt"
+	"io"
+)
+
+// Bad prints straight to stdout.
+func Bad(v int) {
+	fmt.Println("value", v) // want "fmt.Println writes to stdout"
+	fmt.Printf("%d\n", v)   // want "fmt.Printf writes to stdout"
+}
+
+// BadBuiltin uses the println builtin.
+func BadBuiltin(v int) {
+	println(v) // want "builtin println writes to stderr"
+}
+
+// Clean writes through an injected writer.
+func Clean(w io.Writer, v int) {
+	fmt.Fprintf(w, "value %d\n", v)
+}

@@ -1,0 +1,18 @@
+// Package wallclock is a lint corpus: wall-clock reads in a
+// deterministic package.
+package wallclock
+
+import "time"
+
+// Bad reads the wall clock three forbidden ways.
+func Bad() time.Duration {
+	start := time.Now()      // want "wall-clock read time.Now"
+	_ = time.Until(start)    // want "wall-clock read time.Until"
+	return time.Since(start) // want "wall-clock read time.Since"
+}
+
+// Clean builds timestamps explicitly; no wall-clock read involved.
+func Clean() time.Time {
+	t := time.Unix(0, 0)
+	return t.Add(time.Second)
+}

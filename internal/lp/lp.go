@@ -209,6 +209,7 @@ func Solve(p Problem) (Solution, error) {
 		t.obj[j] = -p.C[j]
 	}
 	for i, b := range t.basis {
+		//lint:ignore floateq exact-zero skip: C[b] is user input copied verbatim; skipping only zero coefficients is exact
 		if b < n && p.C[b] != 0 {
 			addScaled(t.obj, t.rows[i], p.C[b])
 		}
@@ -312,11 +313,13 @@ func (t *tableau) pivot(row, col int) {
 		if i == row {
 			continue
 		}
+		//lint:ignore floateq exact-zero skip in Gaussian elimination: adding a zero-scaled row is a no-op, any non-zero must be eliminated
 		if f := t.rows[i][col]; f != 0 {
 			addScaled(t.rows[i], pr, -f)
 			t.rows[i][col] = 0
 		}
 	}
+	//lint:ignore floateq exact-zero skip, same as the row loop above
 	if f := t.obj[col]; f != 0 {
 		addScaled(t.obj, pr, -f)
 		t.obj[col] = 0

@@ -95,7 +95,7 @@ type FaultStats struct {
 // Any reports whether any fault counter is non-zero.
 func (f FaultStats) Any() bool {
 	return f.RPCRetries != 0 || f.RPCTimeouts != 0 || f.NodeDown != 0 ||
-		f.NodeUp != 0 || f.Recoveries != 0 || f.LostIterations != 0
+		f.NodeUp != 0 || f.Recoveries != 0 || f.LostIterations > 0
 }
 
 // String renders the counters in one line.

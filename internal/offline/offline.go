@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"math"
 
+	"repro/internal/bug"
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/gpu"
@@ -55,7 +56,7 @@ func (in Instance) Validate() error {
 		if err := j.Validate(); err != nil {
 			return fmt.Errorf("offline: %w", err)
 		}
-		if j.Arrival != 0 {
+		if j.Arrival > 0 {
 			return fmt.Errorf("offline: brute force assumes static arrivals, job %d arrives at %v", j.ID, j.Arrival)
 		}
 	}
@@ -188,7 +189,7 @@ func Optimal(in Instance) (Result, error) {
 			dfsJob(round, jobIdx+1, free, chosen)
 			if a.Workers() > 0 {
 				if err := free.Release(a); err != nil {
-					panic(err) // search bookkeeping bug
+					bug.Failf("offline: release during backtracking failed: %v", err)
 				}
 			}
 		}

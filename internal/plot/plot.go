@@ -70,9 +70,11 @@ func (c *LineChart) bounds() (xmin, xmax, ymin, ymax float64, ok bool) {
 	if !ok {
 		return 0, 1, 0, 1, false
 	}
+	//lint:ignore floateq degenerate-range guard: only bitwise equality makes the axis span zero
 	if xmax == xmin {
 		xmax = xmin + 1
 	}
+	//lint:ignore floateq degenerate-range guard, as above
 	if ymax == ymin {
 		ymax = ymin + 1
 	}

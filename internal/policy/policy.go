@@ -90,8 +90,11 @@ func (s *Scheduler) Schedule(ctx *sched.Context) map[int]cluster.Alloc {
 	}
 	sort.SliceStable(queue, func(a, b int) bool {
 		ka, kb := key(queue[a]), key(queue[b])
-		if ka != kb {
-			return ka < kb
+		if ka < kb {
+			return true
+		}
+		if ka > kb {
+			return false
 		}
 		return queue[a].Job.ID < queue[b].Job.ID
 	})

@@ -222,7 +222,7 @@ func (c Config) SpeedupRatio(m Model, fast, slow gpu.Type) (float64, error) {
 	if err != nil {
 		return 0, err
 	}
-	if xs == 0 {
+	if xs <= 0 {
 		return math.Inf(1), nil
 	}
 	return xf / xs, nil

@@ -77,25 +77,10 @@ func (c *Chaos) Stats() (drops, delays int) {
 // transport. Injected latency happens before forwarding, so the
 // controller's per-call deadline observes it.
 func (c *Chaos) Call(node int, method string, args, reply interface{}) error {
-	c.mu.Lock()
-	if c.down[node] {
-		c.drops++
-		c.mu.Unlock()
+	down, drop, delay := c.decide(node)
+	if down {
 		return errInjectedDrop
 	}
-	drop := c.opts.DropProb > 0 && c.rng.Float64() < c.opts.DropProb
-	var delay time.Duration
-	if c.opts.MaxLatency > 0 && c.opts.LatencyProb > 0 && c.rng.Float64() < c.opts.LatencyProb {
-		delay = time.Duration(c.rng.Int63n(int64(c.opts.MaxLatency))) + 1
-	}
-	if drop {
-		c.drops++
-	}
-	if delay > 0 {
-		c.delays++
-	}
-	c.mu.Unlock()
-
 	if delay > 0 {
 		time.Sleep(delay)
 	}
@@ -105,12 +90,38 @@ func (c *Chaos) Call(node int, method string, args, reply interface{}) error {
 	return c.inner.Call(node, method, args, reply)
 }
 
+// decide rolls the injection dice for one call under the lock: whether
+// the node is crashed, whether to drop, and how much latency to add.
+func (c *Chaos) decide(node int) (down, drop bool, delay time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.down[node] {
+		c.drops++
+		return true, false, 0
+	}
+	drop = c.opts.DropProb > 0 && c.rng.Float64() < c.opts.DropProb
+	if c.opts.MaxLatency > 0 && c.opts.LatencyProb > 0 && c.rng.Float64() < c.opts.LatencyProb {
+		delay = time.Duration(c.rng.Int63n(int64(c.opts.MaxLatency))) + 1
+	}
+	if drop {
+		c.drops++
+	}
+	if delay > 0 {
+		c.delays++
+	}
+	return false, drop, delay
+}
+
+// isDown reads the crash flag under the lock.
+func (c *Chaos) isDown(node int) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.down[node]
+}
+
 // Reconnect fails while the node is crashed, otherwise forwards.
 func (c *Chaos) Reconnect(node int) error {
-	c.mu.Lock()
-	downNow := c.down[node]
-	c.mu.Unlock()
-	if downNow {
+	if c.isDown(node) {
 		return errInjectedDrop
 	}
 	return c.inner.Reconnect(node)

@@ -168,6 +168,7 @@ func (c *Controller) Close() {
 func (c *Controller) callOnce(node int, method string, args, reply interface{}) error {
 	priv := reflect.New(reflect.TypeOf(reply).Elem())
 	ch := make(chan error, 1)
+	//lint:ignore gostop single bounded RPC attempt; the buffered channel lets it finish and exit even after the deadline abandons it
 	go func() { ch <- c.transport.Call(node, method, args, priv.Interface()) }()
 	timer := time.NewTimer(c.opts.CallTimeout)
 	defer timer.Stop()
@@ -221,8 +222,11 @@ func (c *Controller) Run(jobs []*job.Job) (rep *metrics.Report, retErr error) {
 	states := make([]*sched.JobState, len(jobs))
 	order := append([]*job.Job(nil), jobs...)
 	sort.Slice(order, func(a, b int) bool {
-		if order[a].Arrival != order[b].Arrival {
-			return order[a].Arrival < order[b].Arrival
+		if order[a].Arrival < order[b].Arrival {
+			return true
+		}
+		if order[a].Arrival > order[b].Arrival {
+			return false
 		}
 		return order[a].ID < order[b].ID
 	})
@@ -527,7 +531,12 @@ func (c *Controller) syncNode(node int, active []*sched.JobState) {
 			c.recoverJob(st)
 		}
 	}
+	zombies := make([]int, 0, len(onWorker))
 	for id := range onWorker {
+		zombies = append(zombies, id)
+	}
+	sort.Ints(zombies)
+	for _, id := range zombies {
 		if !tracked[id] {
 			// Zombie task: best-effort free its devices.
 			c.callOnce(node, "Preempt", PreemptArgs{JobID: id}, &PreemptReply{})

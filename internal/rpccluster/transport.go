@@ -169,14 +169,21 @@ func (t *dialTransport) Reconnect(node int) error {
 		return fmt.Errorf("rpccluster: dial %s: %w", t.addrs[node], err)
 	}
 	cl := rpc.NewClient(conn)
-	t.mu.Lock()
-	old := t.clients[node]
-	t.clients[node] = cl
-	t.mu.Unlock()
+	old := t.swapClient(node, cl)
 	if old != nil {
 		old.Close()
 	}
 	return nil
+}
+
+// swapClient installs a fresh client for node under the lock and
+// returns the displaced one so the caller can close it unlocked.
+func (t *dialTransport) swapClient(node int, cl *rpc.Client) *rpc.Client {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	old := t.clients[node]
+	t.clients[node] = cl
+	return old
 }
 
 func (t *dialTransport) Close() error {

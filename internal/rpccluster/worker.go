@@ -20,6 +20,8 @@ import (
 	"net/rpc"
 	"sync"
 	"time"
+
+	"repro/internal/bug"
 )
 
 // LaunchArgs asks a worker to host (part of) a job's gang.
@@ -135,7 +137,7 @@ type Worker struct {
 // how many simulated seconds pass per wall-clock second.
 func NewWorker(nodeID, capacity int, timeScale float64) *Worker {
 	if capacity <= 0 || timeScale <= 0 {
-		panic(fmt.Sprintf("rpccluster: invalid worker config (capacity=%d, timeScale=%v)", capacity, timeScale))
+		bug.Failf("rpccluster: invalid worker config (capacity=%d, timeScale=%v)", capacity, timeScale)
 	}
 	return &Worker{
 		nodeID:      nodeID,
@@ -171,6 +173,7 @@ func (w *Worker) Launch(args LaunchArgs, reply *LaunchReply) error {
 		// Idempotent re-delivery: a retried launch whose first attempt
 		// executed but whose reply was lost must succeed, not error.
 		// Anything that differs in placement terms is a real conflict.
+		//lint:ignore floateq identity check on a value the controller sent verbatim; a retry of the same launch carries a bitwise-equal StartIter
 		if t.devices == args.Devices && t.lead == args.Lead && t.startIter == args.StartIter {
 			reply.FreeDevices = w.free
 			return nil
@@ -278,6 +281,7 @@ func Serve(addr string, w *Worker) (*Handle, error) {
 		return nil, fmt.Errorf("rpccluster: %w", err)
 	}
 	h := &Handle{Worker: w, Addr: ln.Addr().String(), ln: ln, done: make(chan struct{})}
+	//lint:ignore gostop bounded by the listener: Close() closes ln, Accept returns, the loop exits and closes h.done
 	go func() {
 		defer close(h.done)
 		for {
@@ -285,6 +289,7 @@ func Serve(addr string, w *Worker) (*Handle, error) {
 			if err != nil {
 				return // listener closed
 			}
+			//lint:ignore gostop bounded by the connection: ServeConn returns when the peer or Close tears the conn down
 			go srv.ServeConn(conn)
 		}
 	}()

@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"sort"
 	"time"
 
 	"repro/internal/checkpoint"
@@ -93,6 +94,17 @@ func downNodes(failures []Failure, now, round float64) map[int]bool {
 		}
 	}
 	return down
+}
+
+// sortedNodeIDs returns the keys of a down-node set in ascending order
+// so event emission and validation iterate deterministically.
+func sortedNodeIDs(m map[int]bool) []int {
+	ids := make([]int, 0, len(m))
+	for n := range m {
+		ids = append(ids, n)
+	}
+	sort.Ints(ids)
+	return ids
 }
 
 // DefaultOptions returns the paper's simulation settings.
@@ -232,7 +244,7 @@ func Run(c *cluster.Cluster, jobs []*job.Job, s sched.Scheduler, opts Options) (
 		if len(viewDown) > 0 {
 			viewCluster = c.Without(viewDown)
 		}
-		for n := range viewDown {
+		for _, n := range sortedNodeIDs(viewDown) {
 			if !prevDown[n] {
 				report.Faults.NodeDown++
 				if err := log.emit(Event{Time: now, Round: round, Type: EventNodeDown, Job: -1, Node: n}); err != nil {
@@ -240,7 +252,7 @@ func Run(c *cluster.Cluster, jobs []*job.Job, s sched.Scheduler, opts Options) (
 				}
 			}
 		}
-		for n := range prevDown {
+		for _, n := range sortedNodeIDs(prevDown) {
 			if !viewDown[n] {
 				report.Faults.NodeUp++
 				if err := log.emit(Event{Time: now, Round: round, Type: EventNodeUp, Job: -1, Node: n}); err != nil {
@@ -261,8 +273,10 @@ func Run(c *cluster.Cluster, jobs []*job.Job, s sched.Scheduler, opts Options) (
 			Cluster:     viewCluster,
 			Jobs:        append([]*sched.JobState(nil), active...),
 		}
+		//lint:ignore wallclock DecisionTime reports the scheduler's real compute latency; it never feeds back into simulated time
 		start := time.Now()
 		decisions := s.Schedule(ctx)
+		//lint:ignore wallclock real solver latency for the report, not simulated time
 		report.DecisionTime += time.Since(start)
 		report.Decisions++
 		report.Rounds++
@@ -276,7 +290,13 @@ func Run(c *cluster.Cluster, jobs []*job.Job, s sched.Scheduler, opts Options) (
 		// capacity there (the schedulers saw them with zero capacity via
 		// viewCluster), so placements on them are rejected explicitly.
 		sp := freeState.Savepoint()
-		for id, alloc := range decisions {
+		decisionIDs := make([]int, 0, len(decisions))
+		for id := range decisions {
+			decisionIDs = append(decisionIDs, id)
+		}
+		sort.Ints(decisionIDs)
+		for _, id := range decisionIDs {
+			alloc := decisions[id]
 			st, ok := activeByID[id]
 			if !ok {
 				if alloc.Workers() > 0 {
@@ -367,6 +387,8 @@ func Run(c *cluster.Cluster, jobs []*job.Job, s sched.Scheduler, opts Options) (
 				}
 			}
 			report.JobRoundAllocs++
+			// Accumulates within the conservation oracle's tolerance
+			// (invariant.Tol); checked against busy time per round.
 			report.HeldGPUSeconds += float64(w) * opts.RoundLength
 			heldThisRound += w
 			realloc := changed && prev.Workers() > 0
@@ -410,6 +432,7 @@ func Run(c *cluster.Cluster, jobs []*job.Job, s sched.Scheduler, opts Options) (
 					if lost > st.Remaining {
 						lost = st.Remaining
 					}
+					// Accumulates within the oracle's tolerance (invariant.Tol).
 					report.Faults.LostIterations += lost
 					report.Faults.Recoveries++
 					if chk != nil {
@@ -437,6 +460,8 @@ func Run(c *cluster.Cluster, jobs []*job.Job, s sched.Scheduler, opts Options) (
 				// Finishes within this round.
 				tau := st.Remaining / rate
 				st.Remaining = 0
+				// Both accumulate within invariant.Tol tolerance; the
+				// invariant oracle re-derives them each round.
 				st.Attained += float64(w) * tau
 				report.BusyGPUSeconds += float64(w) * tau
 				finish := now + delay + tau
@@ -459,6 +484,8 @@ func Run(c *cluster.Cluster, jobs []*job.Job, s sched.Scheduler, opts Options) (
 				// each round).
 				continue
 			}
+			// All three accumulate within invariant.Tol tolerance; the
+			// oracle checks conservation of work to that tolerance each round.
 			st.Remaining -= rate * window
 			st.Attained += float64(w) * window
 			report.BusyGPUSeconds += float64(w) * window
@@ -559,8 +586,11 @@ func sortByArrival(jobs []*job.Job) {
 }
 
 func less(a, b *job.Job) bool {
-	if a.Arrival != b.Arrival {
-		return a.Arrival < b.Arrival
+	if a.Arrival < b.Arrival {
+		return true
+	}
+	if a.Arrival > b.Arrival {
+		return false
 	}
 	return a.ID < b.ID
 }

@@ -10,6 +10,8 @@ import (
 	"math"
 	"math/rand"
 	"sort"
+
+	"repro/internal/bug"
 )
 
 // Rand wraps math/rand with the distributions the workload model needs.
@@ -38,7 +40,7 @@ func (r *Rand) Uniform(lo, hi float64) float64 {
 // given rate (mean 1/rate). It panics if rate <= 0.
 func (r *Rand) Exponential(rate float64) float64 {
 	if rate <= 0 {
-		panic("stats: Exponential rate must be positive")
+		bug.Failf("stats: Exponential rate must be positive, got %v", rate)
 	}
 	return r.r.ExpFloat64() / rate
 }
@@ -49,12 +51,12 @@ func (r *Rand) Choice(weights []float64) int {
 	total := 0.0
 	for _, w := range weights {
 		if w < 0 {
-			panic("stats: negative weight")
+			bug.Failf("stats: negative weight %v", w)
 		}
 		total += w
 	}
-	if len(weights) == 0 || total == 0 {
-		panic("stats: Choice requires positive total weight")
+	if len(weights) == 0 || total <= 0 {
+		bug.Failf("stats: Choice requires positive total weight")
 	}
 	x := r.r.Float64() * total
 	for i, w := range weights {
@@ -109,7 +111,7 @@ func Max(xs []float64) float64 {
 // slice and panics if p is outside [0, 100].
 func Percentile(xs []float64, p float64) float64 {
 	if p < 0 || p > 100 {
-		panic("stats: percentile out of range")
+		bug.Failf("stats: percentile %v outside [0, 100]", p)
 	}
 	if len(xs) == 0 {
 		return 0
@@ -179,6 +181,7 @@ func CDF(xs []float64) []CDFPoint {
 	n := float64(len(sorted))
 	out := make([]CDFPoint, 0, len(sorted))
 	for i, x := range sorted {
+		//lint:ignore floateq deduplicating bitwise-identical values of a sorted sample; no arithmetic precedes the comparison
 		if len(out) > 0 && out[len(out)-1].X == x {
 			out[len(out)-1].Fraction = float64(i+1) / n
 			continue
@@ -198,6 +201,7 @@ func SampleCDF(xs []float64, queries []float64) []CDFPoint {
 		k := sort.SearchFloat64s(sorted, q)
 		// SearchFloat64s finds the first index >= q; advance over equal
 		// values so the CDF is right-continuous (counts samples <= q).
+		//lint:ignore floateq SearchFloat64s boundary walk: counts samples bitwise-equal to the query point
 		for k < len(sorted) && sorted[k] == q {
 			k++
 		}
@@ -216,10 +220,10 @@ func SampleCDF(xs []float64, queries []float64) []CDFPoint {
 // (fewer than 2 samples) return the sample mean for both bounds.
 func BootstrapCI(xs []float64, confidence float64, resamples int, seed int64) (lo, hi float64) {
 	if confidence <= 0 || confidence >= 1 {
-		panic("stats: confidence must be in (0, 1)")
+		bug.Failf("stats: confidence %v outside (0, 1)", confidence)
 	}
 	if resamples <= 0 {
-		panic("stats: resamples must be positive")
+		bug.Failf("stats: resamples must be positive, got %d", resamples)
 	}
 	if len(xs) < 2 {
 		m := Mean(xs)

@@ -77,8 +77,11 @@ func (s *Scheduler) Schedule(ctx *sched.Context) map[int]cluster.Alloc {
 		if qa != qb {
 			return qa < qb
 		}
-		if queue[a].Job.Arrival != queue[b].Job.Arrival {
-			return queue[a].Job.Arrival < queue[b].Job.Arrival
+		if queue[a].Job.Arrival < queue[b].Job.Arrival {
+			return true
+		}
+		if queue[a].Job.Arrival > queue[b].Job.Arrival {
+			return false
 		}
 		return queue[a].Job.ID < queue[b].Job.ID
 	})

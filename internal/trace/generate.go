@@ -7,6 +7,7 @@ import (
 	"math"
 	"sort"
 
+	"repro/internal/bug"
 	"repro/internal/gpu"
 	"repro/internal/job"
 	"repro/internal/stats"
@@ -139,8 +140,8 @@ func nextDiurnal(rng *stats.Rand, now, rate, amplitude float64) float64 {
 // spread over the gang, rounded up to whole epochs.
 func FromDemand(id int, spec ModelSpec, workers int, gpuHours, arrival float64) (*job.Job, error) {
 	best := 0.0
-	for _, x := range spec.Throughput {
-		if x > best {
+	for t := gpu.Type(0); t < gpu.NumTypes; t++ {
+		if x := spec.Throughput[t]; x > best {
 			best = x
 		}
 	}
@@ -194,7 +195,7 @@ func PrototypeWorkload(seed int64) []*job.Job {
 		jitter := rng.Uniform(0.9, 1.1)
 		j, err := FromDemand(i, spec, d.workers, d.gpuHours*jitter, 0)
 		if err != nil {
-			panic(err) // static inputs; cannot fail
+			bug.Failf("trace: static demand table invalid: %v", err)
 		}
 		jobs = append(jobs, j)
 	}
@@ -218,8 +219,10 @@ func Write(w io.Writer, jobs []*job.Job) error {
 	out := make([]jobJSON, len(jobs))
 	for i, j := range jobs {
 		tp := make(map[string]float64, len(j.Throughput))
-		for t, x := range j.Throughput {
-			tp[t.String()] = x
+		for t := gpu.Type(0); t < gpu.NumTypes; t++ {
+			if x, ok := j.Throughput[t]; ok {
+				tp[t.String()] = x
+			}
 		}
 		out[i] = jobJSON{
 			ID: j.ID, Name: j.Name, Model: j.Model, Workers: j.Workers,
@@ -241,13 +244,20 @@ func Read(r io.Reader) ([]*job.Job, error) {
 	}
 	jobs := make([]*job.Job, len(in))
 	for i, jj := range in {
+		// Sorted keys keep the error path deterministic when several
+		// type names are unparseable.
+		names := make([]string, 0, len(jj.Throughput))
+		for name := range jj.Throughput {
+			names = append(names, name)
+		}
+		sort.Strings(names)
 		tp := make(map[gpu.Type]float64, len(jj.Throughput))
-		for name, x := range jj.Throughput {
+		for _, name := range names {
 			t, err := gpu.Parse(name)
 			if err != nil {
 				return nil, fmt.Errorf("trace: job %d: %w", jj.ID, err)
 			}
-			tp[t] = x
+			tp[t] = jj.Throughput[name]
 		}
 		j := &job.Job{
 			ID: jj.ID, Name: jj.Name, Model: jj.Model, Workers: jj.Workers,

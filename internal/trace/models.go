@@ -7,7 +7,9 @@ package trace
 
 import (
 	"fmt"
+	"maps"
 
+	"repro/internal/bug"
 	"repro/internal/gpu"
 	"repro/internal/job"
 	"repro/internal/stats"
@@ -54,7 +56,8 @@ func (s SizeClass) GPUHourRange() (lo, hi float64) {
 	case XLarge:
 		return 60, 100
 	}
-	panic(fmt.Sprintf("trace: invalid size class %d", int(s)))
+	bug.Failf("trace: invalid size class %d", int(s))
+	return 0, 0 // unreachable: Failf panics
 }
 
 // ModelSpec is one row of Table II plus the throughput profile used as
@@ -149,11 +152,7 @@ func CatalogWithThroughputs(derived map[string]map[gpu.Type]float64) []ModelSpec
 	copy(out, catalog)
 	for i := range out {
 		if tp, ok := derived[out[i].Name]; ok {
-			clone := make(map[gpu.Type]float64, len(tp))
-			for t, x := range tp {
-				clone[t] = x
-			}
-			out[i].Throughput = clone
+			out[i].Throughput = maps.Clone(tp)
 		}
 	}
 	return out

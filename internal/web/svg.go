@@ -52,9 +52,11 @@ func lineSVG(title, xLabel, yLabel string, width, height int, series []svgSeries
 		sb.WriteString(`<text x="50%" y="50%" font-family="sans-serif">no data</text></svg>`)
 		return sb.String()
 	}
+	//lint:ignore floateq degenerate-range guard: only bitwise equality divides the scale by zero
 	if xmax == xmin {
 		xmax = xmin + 1
 	}
+	//lint:ignore floateq degenerate-range guard, as above
 	if ymax == ymin {
 		ymax = ymin + 1
 	}

@@ -47,8 +47,11 @@ func (*Scheduler) Schedule(ctx *sched.Context) map[int]cluster.Alloc {
 		}
 	}
 	sort.SliceStable(waiting, func(a, b int) bool {
-		if waiting[a].Job.Arrival != waiting[b].Job.Arrival {
-			return waiting[a].Job.Arrival < waiting[b].Job.Arrival
+		if waiting[a].Job.Arrival < waiting[b].Job.Arrival {
+			return true
+		}
+		if waiting[a].Job.Arrival > waiting[b].Job.Arrival {
+			return false
 		}
 		return waiting[a].Job.ID < waiting[b].Job.ID
 	})
