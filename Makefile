@@ -10,7 +10,7 @@
 
 GO ?= go
 
-.PHONY: check build vet lint test race stress bench-smoke bench experiments chaos fuzz-smoke cover
+.PHONY: check build vet lint test race stress bench-smoke bench service-smoke experiments chaos fuzz-smoke cover
 
 check: build vet lint test cover
 
@@ -46,9 +46,21 @@ stress:
 bench-smoke:
 	$(GO) test -run='^$$' -bench='BenchmarkDPAllocate|BenchmarkGreedyAllocate' -benchtime=1x -benchmem .
 
-# bench takes real measurements of the scheduling hot path.
+# bench takes real measurements of the scheduling hot path — the DP
+# round, the greedy round, the full 480-job simulation, and a single
+# engine step — and records them as BENCH_sim.json (op, ns/op,
+# allocs/op) via cmd/benchjson for machine comparison across commits.
 bench:
-	$(GO) test -run='^$$' -bench='BenchmarkDPAllocate|BenchmarkGreedyAllocate|BenchmarkSimulate480Jobs' -benchmem .
+	$(GO) test -run='^$$' -bench='BenchmarkDPAllocate|BenchmarkGreedyAllocate|BenchmarkSimulate480Jobs|BenchmarkEngineStep' -benchmem . \
+		| $(GO) run ./cmd/benchjson -o BENCH_sim.json
+
+# service-smoke boots the long-lived scheduler service (cmd/hadard) in
+# smoke mode under the race detector: loadgen drives a seeded bursty
+# workload through the bounded admission queue in closed loop, and the
+# run fails unless every accepted job completes with zero invariant
+# violations inside the budget.
+service-smoke:
+	$(GO) run -race ./cmd/hadard -smoke -smoke-jobs 80 -smoke-model bursty -smoke-seed 1 -smoke-timeout 120s
 
 # fuzz-smoke gives every fuzz target a short budget. Go fuzzes one
 # target per invocation, so each gets its own run; FUZZTIME=2m for a

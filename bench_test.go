@@ -109,6 +109,44 @@ func BenchmarkSimulate480Jobs(b *testing.B) {
 	}
 }
 
+// BenchmarkEngineStep measures one ProcessNextEvent call — the
+// steppable engine's unit of work, one round boundary — with Hadar on
+// a 64-job backlog over the paper's simulated cluster. The engine is
+// rebuilt (outside the timer) whenever it drains.
+func BenchmarkEngineStep(b *testing.B) {
+	cfg := trace.DefaultConfig()
+	cfg.NumJobs = 64
+	jobs, err := trace.Generate(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	newEngine := func() *sim.Engine {
+		eng, err := sim.NewEngine(experiments.SimCluster(), core.New(core.DefaultOptions()), sim.DefaultOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, j := range jobs {
+			if err := eng.SubmitJob(j); err != nil {
+				b.Fatal(err)
+			}
+		}
+		return eng
+	}
+	eng := newEngine()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !eng.HasPendingEvents() {
+			b.StopTimer()
+			eng = newEngine()
+			b.StartTimer()
+		}
+		if err := eng.ProcessNextEvent(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // benchSetup is the reduced scale used by the benchmark harness.
 func benchSetup() experiments.Setup {
 	s := experiments.DefaultSetup()

@@ -1,0 +1,239 @@
+// Command hadard runs the scheduler as a long-lived service: a
+// steppable simulation engine owned by a single goroutine, fronted by
+// a bounded admission queue and an HTTP control API.
+//
+// Usage:
+//
+//	hadard [-scheduler hadar] [-cluster sim|physical] [-addr :8080]
+//	       [-clock virtual|wall] [-interval 50ms] [-queue 64]
+//	       [-round 6] [-validate=true]
+//
+// The HTTP surface combines the dashboard (/, /jobs, /api/summary)
+// with the live control API:
+//
+//	POST   /api/jobs      {"model": "ResNet-50", "workers": 2, "gpu_hours": 4}
+//	GET    /api/jobs/{id} lifecycle phase + live/final detail
+//	DELETE /api/jobs/{id} cancel a pending or running job
+//	GET    /api/snapshot  full cluster snapshot + admission stats
+//
+// Smoke mode (-smoke) swaps the HTTP server for an internal closed-loop
+// load drive: it generates a seeded workload, pushes it through the
+// admission queue as fast as the engine absorbs it, waits for every
+// accepted job to finish, and exits non-zero unless the run was clean
+// (zero invariant violations, nonzero accepted submissions). CI runs
+// this under -race.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"time"
+
+	"repro/internal/allox"
+	"repro/internal/cluster"
+	"repro/internal/experiments"
+	"repro/internal/loadgen"
+	"repro/internal/policy"
+	"repro/internal/sched"
+	"repro/internal/service"
+	"repro/internal/sim"
+	"repro/internal/web"
+)
+
+func main() {
+	var (
+		schedName  = flag.String("scheduler", "hadar", "scheduler: hadar, hadar-makespan, gavel, tiresias, yarn-cs, allox, ref-fifo, ref-srtf")
+		clusterSel = flag.String("cluster", "sim", "cluster config: sim (60 GPUs) or physical (8 GPUs)")
+		addr       = flag.String("addr", ":8080", "HTTP listen address")
+		clockSel   = flag.String("clock", "virtual", "round pacing: virtual (as fast as possible) or wall")
+		interval   = flag.Duration("interval", 50*time.Millisecond, "wall time per round boundary in -clock wall mode")
+		queue      = flag.Int("queue", 64, "admission queue depth (backpressure beyond this)")
+		roundMin   = flag.Float64("round", 6, "scheduling round length (simulated minutes)")
+		validate   = flag.Bool("validate", true, "run the invariant oracle on every round")
+
+		smoke        = flag.Bool("smoke", false, "run the internal load-generator smoke test and exit")
+		smokeJobs    = flag.Int("smoke-jobs", 120, "smoke: number of jobs to generate")
+		smokeModel   = flag.String("smoke-model", "bursty", "smoke: arrival model poisson, diurnal, or bursty")
+		smokeRate    = flag.Float64("smoke-rate", 0.05, "smoke: mean arrival rate (jobs per virtual second)")
+		smokeSeed    = flag.Int64("smoke-seed", 1, "smoke: workload seed")
+		smokeTimeout = flag.Duration("smoke-timeout", 120*time.Second, "smoke: wall-clock budget for the whole run")
+	)
+	flag.Parse()
+
+	s, err := pickScheduler(*schedName)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "hadard: %v\n", err)
+		os.Exit(2)
+	}
+	c, err := pickCluster(*clusterSel)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "hadard: %v\n", err)
+		os.Exit(2)
+	}
+
+	simOpts := sim.DefaultOptions()
+	simOpts.RoundLength = *roundMin * 60
+	simOpts.Validate = *validate
+	opts := service.Options{
+		Sim:           simOpts,
+		QueueDepth:    *queue,
+		RoundInterval: *interval,
+	}
+	if *clockSel == "wall" {
+		opts.Clock = service.WallClock
+	} else if *clockSel != "virtual" {
+		fmt.Fprintf(os.Stderr, "hadard: unknown clock %q\n", *clockSel)
+		os.Exit(2)
+	}
+
+	svc, err := service.New(c, s, opts)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "hadard: %v\n", err)
+		os.Exit(1)
+	}
+	svc.Start()
+
+	if *smoke {
+		os.Exit(runSmoke(svc, *smokeJobs, *smokeModel, *smokeRate, *smokeSeed, *smokeTimeout))
+	}
+
+	fmt.Printf("hadard: %s on %s cluster (%d GPUs), %s clock, queue depth %d — listening on %s\n",
+		s.Name(), *clusterSel, c.TotalGPUs(), *clockSel, *queue, *addr)
+	srv := web.NewLiveServer(svc)
+	if err := http.ListenAndServe(*addr, srv.Handler()); err != nil {
+		fmt.Fprintf(os.Stderr, "hadard: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func pickScheduler(name string) (sched.Scheduler, error) {
+	switch name {
+	case "hadar":
+		return experiments.NewHadar(), nil
+	case "hadar-makespan":
+		return experiments.NewHadarMakespan(), nil
+	case "gavel":
+		return experiments.NewGavel(), nil
+	case "tiresias":
+		return experiments.NewTiresias(), nil
+	case "yarn-cs":
+		return experiments.NewYARNCS(), nil
+	case "allox":
+		return allox.New(), nil
+	case "ref-fifo":
+		return policy.New(policy.FIFO, true), nil
+	case "ref-srtf":
+		return policy.New(policy.SRTF, true), nil
+	}
+	return nil, fmt.Errorf("unknown scheduler %q", name)
+}
+
+func pickCluster(name string) (*cluster.Cluster, error) {
+	switch name {
+	case "sim":
+		return experiments.SimCluster(), nil
+	case "physical":
+		return experiments.PhysicalCluster(), nil
+	}
+	return nil, fmt.Errorf("unknown cluster %q", name)
+}
+
+// smokeReport is the JSON document the smoke run prints for CI logs.
+type smokeReport struct {
+	Scheduler   string         `json:"scheduler"`
+	Model       string         `json:"model"`
+	Drive       loadgen.Result `json:"drive"`
+	SubmitRate  float64        `json:"sustained_submissions_per_s"`
+	Stats       service.Stats  `json:"stats"`
+	Completed   int            `json:"completed"`
+	SimSeconds  float64        `json:"simulated_seconds"`
+	WallSeconds float64        `json:"wall_seconds"`
+}
+
+// runSmoke drives a seeded workload through the service, waits for
+// completion, and verifies the run was clean. Returns the process exit
+// code.
+func runSmoke(svc *service.Service, jobs int, modelName string, rate float64, seed int64, budget time.Duration) int {
+	var model loadgen.Model
+	switch modelName {
+	case "poisson":
+		model = loadgen.Poisson
+	case "diurnal":
+		model = loadgen.Diurnal
+	case "bursty":
+		model = loadgen.Bursty
+	default:
+		fmt.Fprintf(os.Stderr, "hadard: unknown smoke model %q\n", modelName)
+		return 2
+	}
+	cfg := loadgen.Config{
+		Model:     model,
+		Jobs:      jobs,
+		Seed:      seed,
+		Rate:      rate,
+		Amplitude: 0.5,
+		BurstSize: 16,
+		BurstGap:  3600,
+	}
+	trace, err := loadgen.Generate(cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "hadard: smoke: %v\n", err)
+		return 1
+	}
+	start := time.Now()
+	res, err := loadgen.Drive(svc, trace, loadgen.DriveOptions{MaxDuration: budget})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "hadard: smoke: drive failed: %v\n", err)
+		return 1
+	}
+
+	// Wait until every accepted job reaches a terminal phase, within
+	// the wall budget.
+	deadline := start.Add(budget)
+	for {
+		snap := svc.Snapshot()
+		if snap.Completed+snap.Cancelled >= res.Submitted {
+			break
+		}
+		if time.Now().After(deadline) {
+			fmt.Fprintf(os.Stderr, "hadard: smoke: %d of %d jobs unfinished after %v\n",
+				res.Submitted-snap.Completed-snap.Cancelled, res.Submitted, budget)
+			return 1
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	report, err := svc.Stop()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "hadard: smoke: invariant violation or engine failure: %v\n", err)
+		return 1
+	}
+	if res.Submitted == 0 {
+		fmt.Fprintln(os.Stderr, "hadard: smoke: zero accepted submissions")
+		return 1
+	}
+
+	snap := svc.Snapshot()
+	out := smokeReport{
+		Scheduler:   report.Scheduler,
+		Model:       model.String(),
+		Drive:       res,
+		SubmitRate:  res.PerSecond(),
+		Stats:       svc.Stats(),
+		Completed:   snap.Completed,
+		SimSeconds:  snap.Now,
+		WallSeconds: time.Since(start).Seconds(),
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		fmt.Fprintf(os.Stderr, "hadard: smoke: %v\n", err)
+		return 1
+	}
+	fmt.Printf("hadard: smoke OK: %d jobs accepted, %d completed, %d rounds, 0 invariant violations\n",
+		res.Submitted, snap.Completed, svc.Stats().Rounds)
+	return 0
+}

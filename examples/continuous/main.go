@@ -3,6 +3,12 @@
 // arrive over several hours; Hadar prices resources round by round,
 // admits jobs by payoff, and steers work away from the slow node.
 //
+// Unlike the batch examples, this one drives the steppable engine
+// directly: jobs are submitted mid-run as their arrival times come due
+// (the way a real front door sees them, not as a pre-sorted trace),
+// and immutable cluster snapshots are read between steps to print a
+// live utilization timeline.
+//
 //	go run ./examples/continuous
 package main
 
@@ -12,6 +18,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/experiments"
+	"repro/internal/job"
 	"repro/internal/sim"
 	"repro/internal/trace"
 )
@@ -37,11 +44,56 @@ func main() {
 
 	opts := core.DefaultOptions()
 	opts.Aging = 6 * 3600 // age-boost pending jobs under continuous load
-	report, err := sim.Run(clus, jobs, core.New(opts), sim.DefaultOptions())
+	eng, err := sim.NewEngine(clus, core.New(opts), sim.DefaultOptions())
 	if err != nil {
 		log.Fatal(err)
 	}
 
+	// Online arrivals: hold the trace outside the engine and submit each
+	// job only once simulated time reaches it, exactly what a long-lived
+	// scheduler service sees. The engine never learns about a job before
+	// the job "exists".
+	backlog := append([]*job.Job(nil), jobs...)
+	submitDue := func(now float64) {
+		for len(backlog) > 0 && backlog[0].Arrival <= now {
+			if err := eng.SubmitJob(backlog[0]); err != nil {
+				log.Fatal(err)
+			}
+			backlog = backlog[1:]
+		}
+	}
+
+	fmt.Println("live timeline (read from engine snapshots between steps):")
+	submitDue(0)
+	nextStatus := 0
+	for eng.HasPendingEvents() || len(backlog) > 0 {
+		if !eng.HasPendingEvents() {
+			// Queue drained but jobs are still to come: hand the engine
+			// the next arrival so it can jump the gap instead of the
+			// example spinning through empty rounds.
+			submitDue(backlog[0].Arrival)
+			continue
+		}
+		if err := eng.ProcessNextEvent(); err != nil {
+			log.Fatal(err)
+		}
+		submitDue(eng.Now())
+
+		// Snapshots are immutable copies: cheap to take mid-run and safe
+		// to keep while the engine advances underneath.
+		if snap := eng.Snapshot(); snap.Round >= nextStatus {
+			fmt.Printf("  t=%5.1fh  round %3d  active %2d  pending %2d  done %2d  free %2d/%2d GPUs\n",
+				snap.Now/3600, snap.Round, len(snap.Active), snap.Pending,
+				snap.Completed, snap.FreeGPUs(), snap.TotalGPUs)
+			nextStatus += 20
+		}
+	}
+	report, err := eng.Finish()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println()
 	fmt.Println(report)
 	fmt.Printf("avg queue delay: %.1f min\n", report.AvgQueueDelay()/60)
 	fmt.Printf("JCT band: min %.2fh / median %.2fh / max %.2fh\n",

@@ -142,12 +142,17 @@ var schedulerPath = []string{
 // reportingPath lists packages whose *output* must be reproducible run
 // to run (metrics tables, exported CSV/JSON, dashboard rendering, the
 // control plane's reconciliation), even though they are not priced
-// into the schedule itself.
+// into the schedule itself. service and loadgen belong here, not in
+// schedulerPath: their seeded workloads and snapshots must replay
+// identically, but their pacing (wall-clock rounds, retry backoff) is
+// legitimately real-time, like rpccluster's.
 var reportingPath = []string{
 	"repro/internal/metrics",
 	"repro/internal/export",
 	"repro/internal/web",
 	"repro/internal/rpccluster",
+	"repro/internal/service",
+	"repro/internal/loadgen",
 	"repro/internal/stats",
 	"repro/cmd/dashboard",
 }

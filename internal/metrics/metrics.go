@@ -279,6 +279,18 @@ func (r *Report) SortJobsByID() {
 	sort.Slice(r.Jobs, func(a, b int) bool { return r.Jobs[a].ID < r.Jobs[b].ID })
 }
 
+// Clone returns a deep copy: the copy shares no slices with the
+// original, so a snapshot of an in-progress run stays valid while the
+// simulation keeps appending. JobResult and FaultStats are flat value
+// types, so element copies are deep.
+func (r *Report) Clone() *Report {
+	c := *r
+	c.Jobs = append([]JobResult(nil), r.Jobs...)
+	c.RoundHeld = append([]int(nil), r.RoundHeld...)
+	c.RoundStarts = append([]float64(nil), r.RoundStarts...)
+	return &c
+}
+
 // String renders the headline numbers in one line.
 func (r *Report) String() string {
 	return fmt.Sprintf("%s: %d jobs, avgJCT=%.2fh medJCT=%.2fh makespan=%.2fh util=%.1f%% FTF=%.2f",

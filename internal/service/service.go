@@ -1,0 +1,404 @@
+// Package service runs a sim.Engine as a long-lived online scheduler.
+//
+// The batch simulator answers "what would this trace have cost"; the
+// service answers "what is the cluster doing right now". A single
+// goroutine owns the engine and is the only code that ever touches it:
+// it drains a bounded admission queue, processes one round boundary at
+// a time, and publishes an immutable sim.Snapshot through an atomic
+// pointer after every boundary. Readers (HTTP handlers, dashboards,
+// load drivers) only ever see published snapshots, so they never
+// contend with the scheduler.
+//
+// Admission control is explicit: Submit and Cancel enqueue requests on
+// a channel of configurable depth. When the queue is full the call
+// fails fast with a *BusyError carrying a retry hint instead of
+// blocking the caller — backpressure propagates to the client, the
+// engine is never swamped.
+//
+// The engine's virtual clock is decoupled from the wall clock by
+// Options.Clock: VirtualClock processes boundaries as fast as the CPU
+// allows (simulation as a service), WallClock paces one boundary per
+// RoundInterval of real time (a control plane bound to external time).
+package service
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/job"
+	"repro/internal/metrics"
+	"repro/internal/sched"
+	"repro/internal/sim"
+)
+
+// ClockMode selects how simulated round boundaries map to real time.
+type ClockMode int
+
+const (
+	// VirtualClock processes round boundaries as fast as possible; the
+	// simulated clock races ahead of the wall clock. This is the mode
+	// for capacity studies and load testing.
+	VirtualClock ClockMode = iota
+	// WallClock processes at most one round boundary per RoundInterval
+	// of real time, so the service behaves like a live control plane
+	// with a compressed round length.
+	WallClock
+)
+
+// String names the mode.
+func (m ClockMode) String() string {
+	switch m {
+	case VirtualClock:
+		return "virtual"
+	case WallClock:
+		return "wall"
+	}
+	return fmt.Sprintf("ClockMode(%d)", int(m))
+}
+
+// Options configures the service.
+type Options struct {
+	// Sim configures the underlying engine. Enable Sim.Validate to run
+	// the invariant oracle on every round (sim.ValidatedOptions).
+	Sim sim.Options
+	// QueueDepth bounds the admission queue: at most this many
+	// submit/cancel requests may be waiting for the engine goroutine
+	// before further calls fail with *BusyError. Default 64.
+	QueueDepth int
+	// RetryAfter is the backpressure hint attached to BusyError.
+	// Default: RoundInterval in WallClock mode, 10ms in VirtualClock.
+	RetryAfter time.Duration
+	// Clock selects virtual (as-fast-as-possible) or wall-paced rounds.
+	Clock ClockMode
+	// RoundInterval is the real time per round boundary in WallClock
+	// mode. Default 50ms.
+	RoundInterval time.Duration
+}
+
+func (o *Options) normalize() {
+	if o.QueueDepth <= 0 {
+		o.QueueDepth = 64
+	}
+	if o.RoundInterval <= 0 {
+		o.RoundInterval = 50 * time.Millisecond
+	}
+	if o.RetryAfter <= 0 {
+		if o.Clock == WallClock {
+			o.RetryAfter = o.RoundInterval
+		} else {
+			o.RetryAfter = 10 * time.Millisecond
+		}
+	}
+}
+
+// ErrStopped is returned by Submit/Cancel once the service has shut
+// down (or its engine hit a sticky error and the loop exited).
+var ErrStopped = errors.New("service: scheduler service stopped")
+
+// BusyError reports a full admission queue: the caller should back off
+// for RetryAfter and resubmit. It maps to HTTP 429 + Retry-After.
+type BusyError struct{ RetryAfter time.Duration }
+
+// Error describes the backpressure signal.
+func (e *BusyError) Error() string {
+	return fmt.Sprintf("service: admission queue full, retry after %v", e.RetryAfter)
+}
+
+// Stats counts the service's admission-control outcomes. All counters
+// are cumulative since Start.
+type Stats struct {
+	// Accepted counts submissions the engine admitted.
+	Accepted int64 `json:"accepted"`
+	// RejectedBusy counts submissions bounced by the full queue.
+	RejectedBusy int64 `json:"rejected_busy"`
+	// RejectedInvalid counts submissions the engine refused
+	// (validation failure, impossible placement, duplicate ID).
+	RejectedInvalid int64 `json:"rejected_invalid"`
+	// Cancelled counts cancellations the engine accepted.
+	Cancelled int64 `json:"cancelled"`
+	// Rounds counts processed round boundaries (including idle
+	// fast-forwards).
+	Rounds int64 `json:"rounds"`
+}
+
+type reqKind int
+
+const (
+	submitReq reqKind = iota
+	cancelReq
+)
+
+// request is one admission-queue entry; reply carries the engine's
+// verdict back to the caller (buffered so the loop never blocks).
+type request struct {
+	kind  reqKind
+	job   *job.Job
+	id    int
+	reply chan error
+}
+
+// Service fronts one sim.Engine with a goroutine-owned event loop,
+// bounded admission, and lock-free snapshot reads. Create with New,
+// then Start; all exported methods are safe for concurrent use.
+type Service struct {
+	opts Options
+	name string
+
+	eng  *sim.Engine // owned by the run goroutine after Start
+	reqs chan request
+
+	startOnce sync.Once
+	stopOnce  sync.Once
+	stop      chan struct{}
+	stopped   chan struct{}
+
+	snap atomic.Pointer[sim.Snapshot]
+
+	accepted        atomic.Int64
+	rejectedBusy    atomic.Int64
+	rejectedInvalid atomic.Int64
+	cancelled       atomic.Int64
+	rounds          atomic.Int64
+	nextID          atomic.Int64
+
+	// finalReport/finalErr are written by the run goroutine before it
+	// closes stopped and read only after <-stopped.
+	finalReport *metrics.Report
+	finalErr    error
+}
+
+// New builds a service over a fresh engine. The service is inert until
+// Start; requests submitted before Start wait in the admission queue.
+func New(c *cluster.Cluster, s sched.Scheduler, opts Options) (*Service, error) {
+	opts.normalize()
+	eng, err := sim.NewEngine(c, s, opts.Sim)
+	if err != nil {
+		return nil, err
+	}
+	svc := &Service{
+		opts:    opts,
+		name:    s.Name(),
+		eng:     eng,
+		reqs:    make(chan request, opts.QueueDepth),
+		stop:    make(chan struct{}),
+		stopped: make(chan struct{}),
+	}
+	// Auto-assigned IDs (NextID) start high so they stay clear of
+	// trace-style sequential IDs chosen by clients.
+	svc.nextID.Store(1 << 20)
+	svc.snap.Store(eng.Snapshot())
+	return svc, nil
+}
+
+// Start launches the engine goroutine. Safe to call once; later calls
+// are no-ops.
+func (s *Service) Start() {
+	s.startOnce.Do(func() { go s.run() })
+}
+
+// Stop shuts the loop down, drains the admission queue with ErrStopped
+// replies, finalizes the engine, and returns its report. Safe to call
+// multiple times and after an engine failure; every call returns the
+// same result.
+func (s *Service) Stop() (*metrics.Report, error) {
+	s.Start() // a never-started service still terminates cleanly
+	s.stopOnce.Do(func() { close(s.stop) })
+	<-s.stopped
+	return s.finalReport, s.finalErr
+}
+
+// Submit asks the engine to admit the job at the next round boundary.
+// It fails fast with *BusyError when the admission queue is full and
+// with ErrStopped after shutdown; any other error is the engine's
+// validation verdict (bad job, impossible placement, duplicate ID).
+func (s *Service) Submit(j *job.Job) error {
+	return s.send(request{kind: submitReq, job: j, reply: make(chan error, 1)})
+}
+
+// Cancel withdraws a submitted job (pending or running) at the next
+// boundary. Backpressure and shutdown behave exactly as in Submit.
+func (s *Service) Cancel(id int) error {
+	return s.send(request{kind: cancelReq, id: id, reply: make(chan error, 1)})
+}
+
+func (s *Service) send(r request) error {
+	select {
+	case <-s.stopped:
+		return ErrStopped
+	default:
+	}
+	select {
+	case s.reqs <- r:
+	default:
+		s.rejectedBusy.Add(1)
+		return &BusyError{RetryAfter: s.opts.RetryAfter}
+	}
+	select {
+	case err := <-r.reply:
+		return err
+	case <-s.stopped:
+		// The loop drains the queue before closing stopped, so a reply
+		// may already be waiting; prefer it over the shutdown signal.
+		select {
+		case err := <-r.reply:
+			return err
+		default:
+			return ErrStopped
+		}
+	}
+}
+
+// NextID returns a fresh job ID from the service's own range, for
+// clients that do not pick their own.
+func (s *Service) NextID() int { return int(s.nextID.Add(1)) }
+
+// Snapshot returns the most recently published immutable view. It
+// never blocks and never observes a half-updated engine.
+func (s *Service) Snapshot() *sim.Snapshot { return s.snap.Load() }
+
+// Stats returns the cumulative admission-control counters.
+func (s *Service) Stats() Stats {
+	return Stats{
+		Accepted:        s.accepted.Load(),
+		RejectedBusy:    s.rejectedBusy.Load(),
+		RejectedInvalid: s.rejectedInvalid.Load(),
+		Cancelled:       s.cancelled.Load(),
+		Rounds:          s.rounds.Load(),
+	}
+}
+
+// Order implements the web dashboard's Provider interface: a live
+// service exposes exactly one scheduler.
+func (s *Service) Order() []string { return []string{s.name} }
+
+// Report implements the Provider interface against the latest
+// snapshot's deep-copied report.
+func (s *Service) Report(name string) (*metrics.Report, bool) {
+	if name != s.name {
+		return nil, false
+	}
+	return s.snap.Load().Report, true
+}
+
+// run is the engine goroutine: the sole owner of s.eng from Start to
+// stopped.
+func (s *Service) run() {
+	defer close(s.stopped)
+	switch s.opts.Clock {
+	case WallClock:
+		s.runWall()
+	default:
+		s.runVirtual()
+	}
+	s.shutdown()
+}
+
+// runVirtual drains requests and processes boundaries as fast as
+// possible, blocking only when the engine is idle and the queue empty.
+func (s *Service) runVirtual() {
+	for {
+		// Batch every waiting request into this boundary.
+		for {
+			select {
+			case r := <-s.reqs:
+				s.handle(r)
+				continue
+			case <-s.stop:
+				return
+			default:
+			}
+			break
+		}
+		if !s.eng.HasPendingEvents() {
+			// Idle: nothing to schedule until a request or stop.
+			select {
+			case r := <-s.reqs:
+				s.handle(r)
+			case <-s.stop:
+				return
+			}
+			continue
+		}
+		if !s.processBoundary() {
+			return
+		}
+	}
+}
+
+// runWall paces one boundary per RoundInterval tick, handling requests
+// between ticks.
+func (s *Service) runWall() {
+	tick := time.NewTicker(s.opts.RoundInterval)
+	defer tick.Stop()
+	for {
+		select {
+		case r := <-s.reqs:
+			s.handle(r)
+		case <-tick.C:
+			if s.eng.HasPendingEvents() && !s.processBoundary() {
+				return
+			}
+		case <-s.stop:
+			return
+		}
+	}
+}
+
+// processBoundary advances the engine one boundary and publishes a
+// fresh snapshot; false means the engine hit a sticky error and the
+// loop must exit.
+func (s *Service) processBoundary() bool {
+	if err := s.eng.ProcessNextEvent(); err != nil {
+		return false
+	}
+	s.rounds.Add(1)
+	s.snap.Store(s.eng.Snapshot())
+	return true
+}
+
+// handle applies one admission-queue request to the engine.
+func (s *Service) handle(r request) {
+	var err error
+	switch r.kind {
+	case submitReq:
+		err = s.eng.SubmitJob(r.job)
+		if err == nil {
+			s.accepted.Add(1)
+		} else {
+			s.rejectedInvalid.Add(1)
+		}
+	case cancelReq:
+		err = s.eng.CancelJob(r.id)
+		if err == nil {
+			s.cancelled.Add(1)
+		}
+	}
+	// Publish the queue/phase change immediately so status reads see
+	// accepted-but-not-yet-admitted jobs.
+	if err == nil {
+		s.snap.Store(s.eng.Snapshot())
+	}
+	r.reply <- err
+}
+
+// shutdown rejects everything still queued, finalizes the engine, and
+// records the result for Stop.
+func (s *Service) shutdown() {
+	for {
+		select {
+		case r := <-s.reqs:
+			r.reply <- ErrStopped
+			continue
+		default:
+		}
+		break
+	}
+	// Finish returns the engine's sticky error, if any, so a crashed
+	// loop and a clean shutdown take the same path.
+	s.finalReport, s.finalErr = s.eng.Finish()
+	s.snap.Store(s.eng.Snapshot())
+}

@@ -1,0 +1,253 @@
+package service
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/gpu"
+	"repro/internal/job"
+	"repro/internal/sched"
+	"repro/internal/sim"
+)
+
+// fifo is a minimal gang scheduler for driving the service in tests:
+// keep running jobs where they are, then place queued jobs first-fit.
+type fifo struct{}
+
+func (fifo) Name() string { return "test-fifo" }
+
+func (fifo) Schedule(ctx *sched.Context) map[int]cluster.Alloc {
+	out := make(map[int]cluster.Alloc)
+	free := cluster.NewState(ctx.Cluster)
+	for _, st := range ctx.Jobs {
+		if st.Running() && free.Allocate(st.Alloc) == nil {
+			out[st.Job.ID] = st.Alloc
+		}
+	}
+	for _, st := range ctx.Jobs {
+		if _, ok := out[st.Job.ID]; ok {
+			continue
+		}
+		if a, ok := sched.PlaceAnyType(free, sched.UsableTypes(st.Job), st.Job.Workers); ok {
+			if err := free.Allocate(a); err == nil {
+				out[st.Job.ID] = a
+			}
+		}
+	}
+	return out
+}
+
+func simpleJob(id, workers int, iters float64) *job.Job {
+	return &job.Job{
+		ID: id, Name: "j", Model: "unit-test", Workers: workers,
+		Epochs: int(iters), ItersPerEpoch: 1,
+		Throughput: map[gpu.Type]float64{gpu.V100: 10, gpu.K80: 2},
+	}
+}
+
+func twoNodeCluster() *cluster.Cluster {
+	return cluster.New(gpu.Fleet{gpu.V100: 4}, gpu.Fleet{gpu.V100: 4, gpu.K80: 2})
+}
+
+func newTestService(t *testing.T, opts Options) *Service {
+	t.Helper()
+	if !opts.Sim.Validate {
+		opts.Sim = sim.ValidatedOptions()
+	}
+	svc, err := New(twoNodeCluster(), fifo{}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return svc
+}
+
+// waitFor polls the snapshot until cond holds or the deadline passes.
+func waitFor(t *testing.T, svc *Service, what string, cond func(*sim.Snapshot) bool) *sim.Snapshot {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		snap := svc.Snapshot()
+		if cond(snap) {
+			return snap
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s; snapshot: now=%v round=%d pending=%d active=%d completed=%d",
+				what, snap.Now, snap.Round, snap.Pending, len(snap.Active), snap.Completed)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestServiceRunsJobsToCompletion(t *testing.T) {
+	svc := newTestService(t, Options{})
+	svc.Start()
+	for i := 0; i < 5; i++ {
+		if err := svc.Submit(simpleJob(i, 1+i%2, 5000)); err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+	}
+	waitFor(t, svc, "5 completions", func(s *sim.Snapshot) bool { return s.Completed == 5 })
+	report, err := svc.Stop()
+	if err != nil {
+		t.Fatalf("stop: %v", err)
+	}
+	if len(report.Jobs) != 5 {
+		t.Errorf("report has %d jobs, want 5", len(report.Jobs))
+	}
+	st := svc.Stats()
+	if st.Accepted != 5 || st.RejectedInvalid != 0 || st.Rounds == 0 {
+		t.Errorf("stats = %+v, want 5 accepted, 0 invalid, >0 rounds", st)
+	}
+}
+
+func TestServiceValidationErrorsReachCaller(t *testing.T) {
+	svc := newTestService(t, Options{})
+	svc.Start()
+	defer svc.Stop()
+
+	if err := svc.Submit(simpleJob(0, 1, 100)); err != nil {
+		t.Fatal(err)
+	}
+	if err := svc.Submit(simpleJob(0, 1, 100)); err == nil {
+		t.Error("duplicate ID accepted")
+	}
+	if err := svc.Submit(simpleJob(1, 99, 100)); err == nil {
+		t.Error("unplaceable gang accepted")
+	}
+	if err := svc.Cancel(42); err == nil {
+		t.Error("cancel of unknown job accepted")
+	}
+	if st := svc.Stats(); st.Accepted != 1 || st.RejectedInvalid != 2 {
+		t.Errorf("stats = %+v, want 1 accepted, 2 invalid", st)
+	}
+}
+
+func TestServiceCancelReflectedInSnapshot(t *testing.T) {
+	svc := newTestService(t, Options{})
+	svc.Start()
+	// A long job we cancel mid-run.
+	if err := svc.Submit(simpleJob(0, 2, 1e7)); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, svc, "job 0 active", func(s *sim.Snapshot) bool { return s.Phases[0] == "active" })
+	if err := svc.Cancel(0); err != nil {
+		t.Fatalf("cancel: %v", err)
+	}
+	snap := waitFor(t, svc, "job 0 cancelled", func(s *sim.Snapshot) bool { return s.Phases[0] == "cancelled" })
+	if snap.Cancelled != 1 || snap.Completed != 0 {
+		t.Errorf("snapshot counts = %d cancelled %d completed, want 1/0", snap.Cancelled, snap.Completed)
+	}
+	if _, err := svc.Stop(); err != nil {
+		t.Fatalf("stop after cancel: %v", err)
+	}
+	if st := svc.Stats(); st.Cancelled != 1 {
+		t.Errorf("stats.Cancelled = %d, want 1", st.Cancelled)
+	}
+}
+
+// TestServiceBackpressure fills the admission queue of an unstarted
+// service (requests park in the channel awaiting the loop) and checks
+// the overflow call bounces with a retry hint instead of blocking.
+func TestServiceBackpressure(t *testing.T) {
+	svc := newTestService(t, Options{QueueDepth: 2, RetryAfter: 7 * time.Millisecond})
+	replies := make(chan error, 2)
+	go func() { replies <- svc.Submit(simpleJob(0, 1, 100)) }()
+	go func() { replies <- svc.Submit(simpleJob(1, 1, 100)) }()
+	deadline := time.Now().Add(5 * time.Second)
+	for len(svc.reqs) < 2 {
+		if time.Now().After(deadline) {
+			t.Fatal("queue never filled")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	err := svc.Submit(simpleJob(2, 1, 100))
+	var busy *BusyError
+	if !errors.As(err, &busy) {
+		t.Fatalf("overflow submit returned %v, want *BusyError", err)
+	}
+	if busy.RetryAfter != 7*time.Millisecond {
+		t.Errorf("RetryAfter = %v, want 7ms", busy.RetryAfter)
+	}
+	if st := svc.Stats(); st.RejectedBusy != 1 {
+		t.Errorf("RejectedBusy = %d, want 1", st.RejectedBusy)
+	}
+
+	// Starting the loop drains the parked requests successfully.
+	svc.Start()
+	for i := 0; i < 2; i++ {
+		if err := <-replies; err != nil {
+			t.Errorf("parked submit %d failed: %v", i, err)
+		}
+	}
+	if _, err := svc.Stop(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestServiceStoppedRejectsRequests(t *testing.T) {
+	svc := newTestService(t, Options{})
+	svc.Start()
+	if _, err := svc.Stop(); err != nil {
+		t.Fatal(err)
+	}
+	if err := svc.Submit(simpleJob(0, 1, 100)); !errors.Is(err, ErrStopped) {
+		t.Errorf("submit after stop = %v, want ErrStopped", err)
+	}
+	if err := svc.Cancel(0); !errors.Is(err, ErrStopped) {
+		t.Errorf("cancel after stop = %v, want ErrStopped", err)
+	}
+	// Stop is idempotent.
+	if _, err := svc.Stop(); err != nil {
+		t.Errorf("second stop: %v", err)
+	}
+}
+
+func TestServiceWallClock(t *testing.T) {
+	svc := newTestService(t, Options{Clock: WallClock, RoundInterval: time.Millisecond})
+	svc.Start()
+	if err := svc.Submit(simpleJob(0, 2, 5000)); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, svc, "wall-clock completion", func(s *sim.Snapshot) bool { return s.Completed == 1 })
+	report, err := svc.Stop()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Jobs) != 1 {
+		t.Errorf("report has %d jobs, want 1", len(report.Jobs))
+	}
+}
+
+// TestServiceProvider checks the web dashboard Provider view of a live
+// service.
+func TestServiceProvider(t *testing.T) {
+	svc := newTestService(t, Options{})
+	svc.Start()
+	if err := svc.Submit(simpleJob(0, 1, 1000)); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, svc, "completion", func(s *sim.Snapshot) bool { return s.Completed == 1 })
+	order := svc.Order()
+	if len(order) != 1 || order[0] != "test-fifo" {
+		t.Fatalf("Order() = %v", order)
+	}
+	rep, ok := svc.Report("test-fifo")
+	if !ok || len(rep.Jobs) != 1 {
+		t.Errorf("Report = %v jobs, ok=%v; want 1 job", len(rep.Jobs), ok)
+	}
+	if _, ok := svc.Report("nonexistent"); ok {
+		t.Error("Report accepted an unknown scheduler name")
+	}
+	svc.Stop()
+}
+
+func TestServiceNextIDFresh(t *testing.T) {
+	svc := newTestService(t, Options{})
+	a, b := svc.NextID(), svc.NextID()
+	if a == b || a < 1<<20 || b < 1<<20 {
+		t.Errorf("NextID() = %d, %d; want distinct IDs in the service range", a, b)
+	}
+}

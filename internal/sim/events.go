@@ -23,6 +23,10 @@ const (
 	EventPause EventType = "pause"
 	// EventFinish: a job completed all its iterations.
 	EventFinish EventType = "finish"
+	// EventCancel: a job was withdrawn (Engine.CancelJob) before
+	// completing; pending and running jobs alike leave the simulation
+	// at the boundary that processes the withdrawal.
+	EventCancel EventType = "cancel"
 	// EventNodeDown / EventNodeUp: a machine outage began/ended at a
 	// round boundary.
 	EventNodeDown EventType = "node_down"

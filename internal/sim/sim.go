@@ -17,12 +17,9 @@ import (
 	"io"
 	"math"
 	"sort"
-	"time"
 
 	"repro/internal/checkpoint"
 	"repro/internal/cluster"
-	"repro/internal/gpu"
-	"repro/internal/invariant"
 	"repro/internal/job"
 	"repro/internal/metrics"
 	"repro/internal/sched"
@@ -150,386 +147,37 @@ func (o *Options) normalize() error {
 // report. It returns an error for malformed inputs or scheduler protocol
 // violations (broken gang constraint, capacity overflow, allocation to
 // unknown jobs).
+//
+// Run is a thin drive-to-completion wrapper over the steppable Engine:
+// it submits every job of the trace up front, processes round
+// boundaries until the event queue drains, and finalizes the report.
+// Callers that need online arrivals, cancellation, or mid-run
+// observation use the Engine directly.
 func Run(c *cluster.Cluster, jobs []*job.Job, s sched.Scheduler, opts Options) (*metrics.Report, error) {
-	if err := opts.normalize(); err != nil {
-		return nil, err
-	}
 	if len(jobs) == 0 {
 		return nil, fmt.Errorf("sim: empty trace")
 	}
-	totalGPUs := c.TotalGPUs()
-	for _, j := range jobs {
-		if err := j.Validate(); err != nil {
-			return nil, fmt.Errorf("sim: %w", err)
-		}
-		usable := 0
-		for _, t := range sched.UsableTypes(j) {
-			usable += c.TotalOfType(t)
-		}
-		if usable < j.Workers {
-			return nil, fmt.Errorf("sim: %v can never be placed (needs %d workers, %d usable devices)",
-				j, j.Workers, usable)
-		}
+	eng, err := NewEngine(c, s, opts)
+	if err != nil {
+		return nil, err
 	}
-
-	// States in arrival order; jobs slice is not modified.
+	// Submit in arrival order; the jobs slice is not modified. Ties on
+	// arrival time break by ascending ID, and the event queue preserves
+	// submission order among simultaneous events, so admission matches
+	// the sorted-trace batch protocol exactly.
 	ordered := append([]*job.Job(nil), jobs...)
 	sortByArrival(ordered)
-	states := make([]*sched.JobState, len(ordered))
-	for i, j := range ordered {
-		states[i] = &sched.JobState{
-			Job:          j,
-			Remaining:    j.TotalIters(),
-			RoundsByType: make(map[gpu.Type]float64),
+	for _, j := range ordered {
+		if err := eng.SubmitJob(j); err != nil {
+			return nil, err
 		}
 	}
-
-	report := &metrics.Report{Scheduler: s.Name(), TotalGPUs: totalGPUs}
-	log := newEventLogger(opts.EventLog)
-	// Correctness oracle, enabled by Options.Validate: observes every
-	// round's decisions and progress accounting and fails the run on
-	// the first violated invariant. Rates are checked against the same
-	// bottleneck model the simulator charges (full cluster, so node
-	// straggler factors apply).
-	var chk *invariant.Checker
-	var rateModel func(j *job.Job, a cluster.Alloc) float64
-	if opts.Validate {
-		chk = invariant.NewChecker(c)
-		rateModel = func(j *job.Job, a cluster.Alloc) float64 { return sched.Rate(j, c, a) }
-	}
-	// Persistent free-state for joint-decision validation: every round's
-	// allocations are applied as a savepointed diff and rolled back,
-	// instead of rebuilding the state from the cluster each round.
-	freeState := cluster.NewState(c)
-	prevDown := map[int]bool{}
-	var active []*sched.JobState
-	next := 0 // index of next not-yet-arrived job
-	now := 0.0
-	stalled := 0
-
-	for round := 0; ; round++ {
-		if round >= opts.MaxRounds {
-			return nil, fmt.Errorf("sim: exceeded %d rounds with %d jobs unfinished", opts.MaxRounds, len(active)+len(states)-next)
-		}
-		// Admit arrivals up to now.
-		for next < len(states) && states[next].Job.Arrival <= now {
-			active = append(active, states[next])
-			if err := log.emit(Event{Time: states[next].Job.Arrival, Round: round,
-				Type: EventArrive, Job: states[next].Job.ID, Node: -1}); err != nil {
-				return nil, err
-			}
-			next++
-		}
-		if len(active) == 0 {
-			if next >= len(states) {
-				break // all done
-			}
-			// Fast-forward to the round boundary at or after the next
-			// arrival.
-			arr := states[next].Job.Arrival
-			skip := math.Ceil(arr/opts.RoundLength) * opts.RoundLength
-			if skip <= now {
-				skip = now + opts.RoundLength
-			}
-			now = skip
-			continue
-		}
-
-		// Failure handling: schedulers see nodes that are down *now*
-		// (they cannot foresee an outage beginning mid-round), while
-		// progress accounting uses any outage overlapping the round.
-		viewDown := downNodes(opts.Failures, now, 1e-9)
-		surpriseDown := downNodes(opts.Failures, now, opts.RoundLength)
-		viewCluster := c
-		if len(viewDown) > 0 {
-			viewCluster = c.Without(viewDown)
-		}
-		for _, n := range sortedNodeIDs(viewDown) {
-			if !prevDown[n] {
-				report.Faults.NodeDown++
-				if err := log.emit(Event{Time: now, Round: round, Type: EventNodeDown, Job: -1, Node: n}); err != nil {
-					return nil, err
-				}
-			}
-		}
-		for _, n := range sortedNodeIDs(prevDown) {
-			if !viewDown[n] {
-				report.Faults.NodeUp++
-				if err := log.emit(Event{Time: now, Round: round, Type: EventNodeUp, Job: -1, Node: n}); err != nil {
-					return nil, err
-				}
-			}
-		}
-		prevDown = viewDown
-		if prevDown == nil {
-			prevDown = map[int]bool{}
-		}
-
-		ctx := &sched.Context{
-			Now:         now,
-			Round:       round,
-			RoundLength: opts.RoundLength,
-			Horizon:     horizon(now, active, opts.RoundLength),
-			Cluster:     viewCluster,
-			Jobs:        append([]*sched.JobState(nil), active...),
-		}
-		//lint:ignore wallclock DecisionTime reports the scheduler's real compute latency; it never feeds back into simulated time
-		start := time.Now()
-		decisions := s.Schedule(ctx)
-		//lint:ignore wallclock real solver latency for the report, not simulated time
-		report.DecisionTime += time.Since(start)
-		report.Decisions++
-		report.Rounds++
-
-		// Validate the joint decision.
-		activeByID := make(map[int]*sched.JobState, len(active))
-		for _, st := range active {
-			activeByID[st.Job.ID] = st
-		}
-		// Validate against the persistent state: down nodes keep their
-		// capacity there (the schedulers saw them with zero capacity via
-		// viewCluster), so placements on them are rejected explicitly.
-		sp := freeState.Savepoint()
-		decisionIDs := make([]int, 0, len(decisions))
-		for id := range decisions {
-			decisionIDs = append(decisionIDs, id)
-		}
-		sort.Ints(decisionIDs)
-		for _, id := range decisionIDs {
-			alloc := decisions[id]
-			st, ok := activeByID[id]
-			if !ok {
-				if alloc.Workers() > 0 {
-					return nil, fmt.Errorf("sim: %s allocated to unknown or inactive job %d", s.Name(), id)
-				}
-				continue
-			}
-			if err := sched.Validate(st.Job, alloc); err != nil {
-				return nil, fmt.Errorf("sim: %s: %w", s.Name(), err)
-			}
-			if alloc.Workers() > 0 {
-				for _, p := range alloc {
-					if p.Count > 0 && prevDown[p.Node] {
-						return nil, fmt.Errorf("sim: %s over-allocated: node %d is down, has 0 free %s, need %d",
-							s.Name(), p.Node, p.Type, p.Count)
-					}
-				}
-				if err := freeState.Allocate(alloc); err != nil {
-					return nil, fmt.Errorf("sim: %s over-allocated: %w", s.Name(), err)
-				}
-			}
-		}
-		freeState.Rollback(sp)
-
-		// Apply decisions. First pass: detect reallocations and, when
-		// contention modeling is on, count how many reallocated jobs
-		// checkpoint through each node this round.
-		type appliedJob struct {
-			st      *sched.JobState
-			alloc   cluster.Alloc
-			prev    cluster.Alloc
-			changed bool
-		}
-		applied := make([]appliedJob, 0, len(active))
-		nodeCheckpoints := map[int]int{}
-		for _, st := range active {
-			newAlloc := decisions[st.Job.ID].Canonical()
-			prev := st.Alloc
-			changed := !newAlloc.Equal(prev)
-			st.Alloc = newAlloc
-			applied = append(applied, appliedJob{st: st, alloc: newAlloc, prev: prev, changed: changed})
-			if opts.CheckpointContention && changed {
-				for _, p := range prev.Canonical() {
-					nodeCheckpoints[p.Node]++
-				}
-				for _, p := range newAlloc {
-					nodeCheckpoints[p.Node]++
-				}
-			}
-		}
-
-		// Second pass: advance each allocated job.
-		anyAllocated := false
-		heldThisRound := 0
-		var stillActive []*sched.JobState
-		var obs []invariant.JobRound
-		observe := func(st *sched.JobState, alloc cluster.Alloc, before, window float64, killed bool) {
-			obs = append(obs, invariant.JobRound{
-				Job: st.Job, Alloc: alloc,
-				RemainingBefore: before, RemainingAfter: st.Remaining,
-				Window: window, Killed: killed,
-			})
-		}
-		for _, aj := range applied {
-			st, newAlloc, prev, changed := aj.st, aj.alloc, aj.prev, aj.changed
-			remBefore := st.Remaining
-			w := newAlloc.Workers()
-			if w == 0 {
-				if prev.Workers() > 0 {
-					if err := log.emit(Event{Time: now, Round: round, Type: EventPause,
-						Job: st.Job.ID, Node: -1}); err != nil {
-						return nil, err
-					}
-				}
-				if chk != nil {
-					observe(st, nil, remBefore, 0, false)
-				}
-				stillActive = append(stillActive, st)
-				continue
-			}
-			anyAllocated = true
-			if !st.Started {
-				st.Started = true
-				st.StartTime = now
-				if err := log.emit(Event{Time: now, Round: round, Type: EventStart,
-					Job: st.Job.ID, Node: -1, Alloc: newAlloc.String()}); err != nil {
-					return nil, err
-				}
-			}
-			report.JobRoundAllocs++
-			// Accumulates within the conservation oracle's tolerance
-			// (invariant.Tol); checked against busy time per round.
-			report.HeldGPUSeconds += float64(w) * opts.RoundLength
-			heldThisRound += w
-			realloc := changed && prev.Workers() > 0
-			if realloc {
-				report.JobRoundReallocs++
-				st.Reallocations++
-				if err := log.emit(Event{Time: now, Round: round, Type: EventRealloc,
-					Job: st.Job.ID, Node: -1, Alloc: newAlloc.String()}); err != nil {
-					return nil, err
-				}
-			}
-
-			delay := stallFor(st.Job.Model, changed, opts)
-			if opts.CheckpointContention && changed {
-				factor := 1
-				for _, p := range append(newAlloc.Canonical(), prev.Canonical()...) {
-					if n := nodeCheckpoints[p.Node]; n > factor {
-						factor = n
-					}
-				}
-				delay *= float64(factor)
-			}
-			if delay >= opts.RoundLength {
-				delay = opts.RoundLength
-			}
-			window := opts.RoundLength - delay
-			rate := sched.Rate(st.Job, c, newAlloc)
-			// A node failing during the round kills the gang's progress
-			// for the whole round: the work since the last checkpoint is
-			// lost and the job re-places at the next boundary.
-			if len(surpriseDown) > 0 {
-				killed := false
-				for _, p := range newAlloc {
-					if surpriseDown[p.Node] {
-						killed = true
-						break
-					}
-				}
-				if killed {
-					lost := rate * window
-					if lost > st.Remaining {
-						lost = st.Remaining
-					}
-					// Accumulates within the oracle's tolerance (invariant.Tol).
-					report.Faults.LostIterations += lost
-					report.Faults.Recoveries++
-					if chk != nil {
-						observe(st, newAlloc, remBefore, window, true)
-					}
-					stillActive = append(stillActive, st)
-					continue
-				}
-			}
-			st.Rounds++
-			for _, t := range newAlloc.Types() {
-				st.RoundsByType[t]++
-			}
-
-			if rate <= 0 {
-				// Allocated but cannot progress (validated types make
-				// this unreachable, but stay safe).
-				if chk != nil {
-					observe(st, newAlloc, remBefore, window, false)
-				}
-				stillActive = append(stillActive, st)
-				continue
-			}
-			if st.Remaining <= rate*window {
-				// Finishes within this round.
-				tau := st.Remaining / rate
-				st.Remaining = 0
-				// Both accumulate within invariant.Tol tolerance; the
-				// invariant oracle re-derives them each round.
-				st.Attained += float64(w) * tau
-				report.BusyGPUSeconds += float64(w) * tau
-				finish := now + delay + tau
-				if opts.QuantizeCompletions {
-					finish = now + opts.RoundLength
-				}
-				report.Jobs = append(report.Jobs, jobResult(st, finish, len(jobs), totalGPUs))
-				if err := log.emit(Event{Time: finish, Round: round, Type: EventFinish,
-					Job: st.Job.ID, Node: -1}); err != nil {
-					return nil, err
-				}
-				if finish > report.Makespan {
-					report.Makespan = finish
-				}
-				if chk != nil {
-					observe(st, newAlloc, remBefore, window, false)
-				}
-				// Job leaves the active set; its GPUs are free from the
-				// next boundary on (the simulator rebuilds allocations
-				// each round).
-				continue
-			}
-			// All three accumulate within invariant.Tol tolerance; the
-			// oracle checks conservation of work to that tolerance each round.
-			st.Remaining -= rate * window
-			st.Attained += float64(w) * window
-			report.BusyGPUSeconds += float64(w) * window
-			if chk != nil {
-				observe(st, newAlloc, remBefore, window, false)
-			}
-			stillActive = append(stillActive, st)
-		}
-		active = stillActive
-		if chk != nil {
-			chk.CheckRound(invariant.Round{
-				Index: round, Now: now, Length: opts.RoundLength,
-				Down: prevDown, Jobs: obs, Scheduler: s, Rate: rateModel,
-			})
-			// Fail fast so the offending round is the one in the error.
-			if err := chk.Err(); err != nil {
-				return nil, fmt.Errorf("sim: %s: %w", s.Name(), err)
-			}
-		}
-		report.RoundHeld = append(report.RoundHeld, heldThisRound)
-		report.RoundStarts = append(report.RoundStarts, now)
-
-		if !anyAllocated && len(active) > 0 {
-			stalled++
-			if stalled >= opts.StallLimit {
-				return nil, fmt.Errorf("sim: %s stalled for %d rounds with %d active jobs at t=%.0fs",
-					s.Name(), stalled, len(active), now)
-			}
-		} else {
-			stalled = 0
-		}
-		now += opts.RoundLength
-		if len(active) == 0 && next >= len(states) {
-			break
+	for eng.HasPendingEvents() {
+		if err := eng.ProcessNextEvent(); err != nil {
+			return nil, err
 		}
 	}
-	report.SortJobsByID()
-	if chk != nil {
-		chk.CheckReport(report, ordered)
-		if err := chk.Err(); err != nil {
-			return nil, fmt.Errorf("sim: %s: %w", s.Name(), err)
-		}
-	}
-	return report, nil
+	return eng.Finish()
 }
 
 // stallFor returns the checkpoint stall (seconds) at the start of a

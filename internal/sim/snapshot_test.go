@@ -1,0 +1,63 @@
+package sim
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// TestSnapshotImmutableUnderStepping takes a mid-run snapshot and
+// checks it does not change while the engine keeps advancing — the
+// copy-on-publish contract concurrent readers rely on.
+func TestSnapshotImmutableUnderStepping(t *testing.T) {
+	e, err := NewEngine(twoNodeCluster(), fifo{}, ValidatedOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.SubmitJob(simpleJob(0, 2, 20000, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.SubmitJob(simpleJob(1, 1, 50000, 700)); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.ProcessNextEvent(); err != nil {
+		t.Fatal(err)
+	}
+	snap := e.Snapshot()
+	if snap.Now != 360 || snap.Round != 1 {
+		t.Fatalf("snapshot at now=%v round=%d, want 360/1", snap.Now, snap.Round)
+	}
+	if len(snap.Active) != 1 || snap.Active[0].ID != 0 {
+		t.Fatalf("active = %+v, want job 0 only", snap.Active)
+	}
+	if !snap.Active[0].Running || snap.Active[0].Alloc == "" {
+		t.Errorf("job 0 should be running with an allocation, got %+v", snap.Active[0])
+	}
+	if snap.Pending != 1 {
+		t.Errorf("pending = %d, want 1 (job 1 arrives at t=700)", snap.Pending)
+	}
+	if snap.HeldGPUs != 2 || snap.FreeGPUs() != snap.TotalGPUs-2 {
+		t.Errorf("held = %d free = %d of %d, want 2 held", snap.HeldGPUs, snap.FreeGPUs(), snap.TotalGPUs)
+	}
+
+	// Freeze the observable state, keep stepping, re-compare.
+	before, err := json.Marshal(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reportJobs := len(snap.Report.Jobs)
+	driveEngine(t, e)
+	after, err := json.Marshal(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(before) != string(after) {
+		t.Errorf("snapshot mutated while engine ran:\nbefore: %s\nafter:  %s", before, after)
+	}
+	if len(snap.Report.Jobs) != reportJobs {
+		t.Errorf("snapshot report grew from %d to %d jobs", reportJobs, len(snap.Report.Jobs))
+	}
+	if final := e.Snapshot(); final.Completed != 2 || len(final.Active) != 0 || final.Pending != 0 {
+		t.Errorf("final snapshot = %d completed, %d active, %d pending; want 2/0/0",
+			final.Completed, len(final.Active), final.Pending)
+	}
+}

@@ -1,0 +1,185 @@
+package web
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/service"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// NewLiveServer serves the dashboard plus the live control API for a
+// running scheduler service: the Provider-backed pages (/, /jobs,
+// /api/summary, SVGs) render the service's latest snapshot, and the
+// /api/jobs endpoints submit, cancel, and query jobs against the
+// engine through the service's bounded admission queue.
+func NewLiveServer(svc *service.Service) *Server {
+	s := NewServerFrom(svc)
+	live := &liveAPI{svc: svc}
+	s.mux.HandleFunc("GET /api/snapshot", live.handleSnapshot)
+	s.mux.HandleFunc("POST /api/jobs", live.handleSubmit)
+	s.mux.HandleFunc("GET /api/jobs/{id}", live.handleQuery)
+	s.mux.HandleFunc("DELETE /api/jobs/{id}", live.handleCancel)
+	return s
+}
+
+// liveAPI holds the mutating endpoints' shared state.
+type liveAPI struct {
+	svc *service.Service
+}
+
+// writeJSON emits one JSON response body.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		// Headers are gone; nothing useful left to do.
+		_ = err
+	}
+}
+
+// writeError maps a service error to an HTTP status: backpressure
+// becomes 429 with a Retry-After hint, shutdown 503, anything else
+// (validation, duplicate ID, unknown job) 400/404/409 per endpoint.
+func writeError(w http.ResponseWriter, err error, fallback int) {
+	var busy *service.BusyError
+	switch {
+	case errors.As(err, &busy):
+		secs := int(busy.RetryAfter / time.Second)
+		if secs < 1 {
+			secs = 1
+		}
+		w.Header().Set("Retry-After", strconv.Itoa(secs))
+		writeJSON(w, http.StatusTooManyRequests, map[string]string{"error": err.Error()})
+	case errors.Is(err, service.ErrStopped):
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"error": err.Error()})
+	default:
+		writeJSON(w, fallback, map[string]string{"error": err.Error()})
+	}
+}
+
+// snapshotResponse is the /api/snapshot body: the engine snapshot plus
+// the service's admission counters.
+type snapshotResponse struct {
+	*sim.Snapshot
+	Stats service.Stats `json:"stats"`
+}
+
+func (a *liveAPI) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, snapshotResponse{
+		Snapshot: a.svc.Snapshot(),
+		Stats:    a.svc.Stats(),
+	})
+}
+
+// submitSpec is the POST /api/jobs body. The job is built from the
+// workload catalog: Model selects the Table II entry, GPUHours the
+// aggregate demand, Workers the gang size. ID is optional; omitted IDs
+// are assigned from the service's range.
+type submitSpec struct {
+	ID       *int    `json:"id"`
+	Model    string  `json:"model"`
+	Workers  int     `json:"workers"`
+	GPUHours float64 `json:"gpu_hours"`
+}
+
+// lookupModel finds a catalog entry by name.
+func lookupModel(name string) (trace.ModelSpec, bool) {
+	for _, spec := range trace.Catalog() {
+		if spec.Name == name {
+			return spec, true
+		}
+	}
+	return trace.ModelSpec{}, false
+}
+
+func (a *liveAPI) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var spec submitSpec
+	if err := json.NewDecoder(r.Body).Decode(&spec); err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": "bad request body: " + err.Error()})
+		return
+	}
+	model, ok := lookupModel(spec.Model)
+	if !ok {
+		writeJSON(w, http.StatusBadRequest, map[string]string{
+			"error": fmt.Sprintf("unknown model %q (see the workload catalog)", spec.Model)})
+		return
+	}
+	id := a.svc.NextID()
+	if spec.ID != nil {
+		id = *spec.ID
+	}
+	// Arrival 0 is in the engine's past; it clamps to the current
+	// simulated time, i.e. "arrives now".
+	j, err := trace.FromDemand(id, model, spec.Workers, spec.GPUHours, 0)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+		return
+	}
+	if err := a.svc.Submit(j); err != nil {
+		writeError(w, err, http.StatusConflict)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, map[string]any{"id": id, "name": j.Name})
+}
+
+// queryResponse is the GET /api/jobs/{id} body: the lifecycle phase
+// plus whichever detail exists — the live JobSnapshot for admitted
+// jobs, the final JobResult for finished ones.
+type queryResponse struct {
+	ID     int                `json:"id"`
+	Phase  string             `json:"phase"`
+	Job    *sim.JobSnapshot   `json:"job,omitempty"`
+	Result *metrics.JobResult `json:"result,omitempty"`
+}
+
+func jobID(r *http.Request) (int, error) {
+	return strconv.Atoi(r.PathValue("id"))
+}
+
+func (a *liveAPI) handleQuery(w http.ResponseWriter, r *http.Request) {
+	id, err := jobID(r)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": "bad job id: " + err.Error()})
+		return
+	}
+	snap := a.svc.Snapshot()
+	phase, ok := snap.Phases[id]
+	if !ok {
+		writeJSON(w, http.StatusNotFound, map[string]string{"error": fmt.Sprintf("unknown job %d", id)})
+		return
+	}
+	resp := queryResponse{ID: id, Phase: phase}
+	for i := range snap.Active {
+		if snap.Active[i].ID == id {
+			resp.Job = &snap.Active[i]
+			break
+		}
+	}
+	for i := range snap.Report.Jobs {
+		if snap.Report.Jobs[i].ID == id {
+			resp.Result = &snap.Report.Jobs[i]
+			break
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (a *liveAPI) handleCancel(w http.ResponseWriter, r *http.Request) {
+	id, err := jobID(r)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": "bad job id: " + err.Error()})
+		return
+	}
+	if err := a.svc.Cancel(id); err != nil {
+		writeError(w, err, http.StatusConflict)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"id": id, "cancelled": true})
+}

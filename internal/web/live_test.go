@@ -1,0 +1,180 @@
+package web
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/policy"
+	"repro/internal/service"
+	"repro/internal/sim"
+)
+
+func newLiveFixture(t *testing.T) (*service.Service, *httptest.Server) {
+	t.Helper()
+	svc, err := service.New(experiments.SimCluster(), policy.New(policy.SRTF, true), service.Options{
+		Sim: sim.ValidatedOptions(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc.Start()
+	ts := httptest.NewServer(NewLiveServer(svc).Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		svc.Stop()
+	})
+	return svc, ts
+}
+
+func postJSON(t *testing.T, url, body string) (*http.Response, map[string]any) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatalf("decoding response: %v", err)
+	}
+	return resp, out
+}
+
+func do(t *testing.T, method, url string) (*http.Response, map[string]any) {
+	t.Helper()
+	req, err := http.NewRequest(method, url, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatalf("decoding response: %v", err)
+	}
+	return resp, out
+}
+
+func TestLiveSubmitQueryCancel(t *testing.T) {
+	svc, ts := newLiveFixture(t)
+
+	resp, out := postJSON(t, ts.URL+"/api/jobs", `{"model": "ResNet-50", "workers": 2, "gpu_hours": 50000}`)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit status = %d, body %v", resp.StatusCode, out)
+	}
+	id := int(out["id"].(float64))
+	if id < 1<<20 {
+		t.Errorf("auto-assigned ID %d not in the service range", id)
+	}
+
+	// The engine admits the job at the next boundary; wait for it.
+	deadline := time.Now().Add(10 * time.Second)
+	for svc.Snapshot().Phases[id] != "active" {
+		if time.Now().After(deadline) {
+			t.Fatalf("job %d never became active: phases %v", id, svc.Snapshot().Phases)
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	resp, out = do(t, http.MethodGet, ts.URL+"/api/jobs/"+itoa(id))
+	if resp.StatusCode != http.StatusOK || out["phase"] != "active" {
+		t.Fatalf("query status = %d, body %v", resp.StatusCode, out)
+	}
+	if out["job"] == nil {
+		t.Error("active job query missing live detail")
+	}
+
+	resp, out = do(t, http.MethodDelete, ts.URL+"/api/jobs/"+itoa(id))
+	if resp.StatusCode != http.StatusOK || out["cancelled"] != true {
+		t.Fatalf("cancel status = %d, body %v", resp.StatusCode, out)
+	}
+	// Double cancel is a client error.
+	resp, _ = do(t, http.MethodDelete, ts.URL+"/api/jobs/"+itoa(id))
+	if resp.StatusCode != http.StatusConflict {
+		t.Errorf("double cancel status = %d, want 409", resp.StatusCode)
+	}
+}
+
+func TestLiveSubmitRejectsBadSpecs(t *testing.T) {
+	_, ts := newLiveFixture(t)
+	for _, body := range []string{
+		`{"model": "NoSuchNet", "workers": 1, "gpu_hours": 1}`,
+		`{"model": "ResNet-50", "workers": 0, "gpu_hours": 1}`,
+		`not json`,
+	} {
+		resp, out := postJSON(t, ts.URL+"/api/jobs", body)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("submit %q status = %d, body %v; want 400", body, resp.StatusCode, out)
+		}
+	}
+	resp, _ := do(t, http.MethodGet, ts.URL+"/api/jobs/999999999")
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown job query status = %d, want 404", resp.StatusCode)
+	}
+	resp, _ = do(t, http.MethodGet, ts.URL+"/api/jobs/notanumber")
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("malformed id status = %d, want 400", resp.StatusCode)
+	}
+}
+
+func TestLiveSnapshotAndSummary(t *testing.T) {
+	svc, ts := newLiveFixture(t)
+	resp, out := postJSON(t, ts.URL+"/api/jobs", `{"id": 7, "model": "LSTM", "workers": 1, "gpu_hours": 0.05}`)
+	if resp.StatusCode != http.StatusAccepted || out["id"].(float64) != 7 {
+		t.Fatalf("submit status = %d, body %v", resp.StatusCode, out)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for svc.Snapshot().Completed < 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("job 7 never completed")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	resp, out = do(t, http.MethodGet, ts.URL+"/api/snapshot")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("snapshot status = %d", resp.StatusCode)
+	}
+	if out["completed"].(float64) != 1 {
+		t.Errorf("snapshot completed = %v, want 1", out["completed"])
+	}
+	stats, ok := out["stats"].(map[string]any)
+	if !ok || stats["accepted"].(float64) != 1 {
+		t.Errorf("snapshot stats = %v, want accepted=1", out["stats"])
+	}
+
+	// The Provider-backed summary endpoint serves the live report.
+	res, err := http.Get(ts.URL + "/api/summary")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Body.Close()
+	var summary []map[string]any
+	if err := json.NewDecoder(res.Body).Decode(&summary); err != nil {
+		t.Fatal(err)
+	}
+	if len(summary) != 1 || summary[0]["jobs"].(float64) != 1 {
+		t.Errorf("live summary = %v, want one scheduler with one job", summary)
+	}
+
+	// The HTML dashboard renders from the same provider.
+	res, err = http.Get(ts.URL + "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res.Body.Close()
+	if res.StatusCode != http.StatusOK {
+		t.Errorf("live index status = %d", res.StatusCode)
+	}
+}
+
+func itoa(n int) string { return strconv.Itoa(n) }

@@ -11,16 +11,48 @@ import (
 	"repro/internal/metrics"
 )
 
-// Server renders a finished scheduling comparison as a web dashboard.
+// Provider supplies the named reports the dashboard renders. A
+// finished experiments.Comparison satisfies it through NewServer's
+// adapter; a live scheduler service satisfies it with snapshot-backed
+// reports, so the same handlers serve both a static comparison and a
+// running engine.
+type Provider interface {
+	// Order lists the scheduler names in display order.
+	Order() []string
+	// Report returns the report for one scheduler; ok is false for
+	// unknown names. The returned report must stay immutable for as
+	// long as the caller may read it (live providers return deep-copied
+	// snapshots).
+	Report(name string) (*metrics.Report, bool)
+}
+
+// Server renders a scheduling comparison — finished or live — as a web
+// dashboard.
 type Server struct {
-	cmp *experiments.Comparison
+	src Provider
 	mux *http.ServeMux
+}
+
+// comparisonProvider adapts a finished comparison to the Provider
+// interface.
+type comparisonProvider struct{ cmp *experiments.Comparison }
+
+func (p comparisonProvider) Order() []string { return p.cmp.Order }
+
+func (p comparisonProvider) Report(name string) (*metrics.Report, bool) {
+	rep, ok := p.cmp.Reports[name]
+	return rep, ok
 }
 
 // NewServer wraps a comparison. The comparison must not be mutated
 // while the server runs.
 func NewServer(cmp *experiments.Comparison) *Server {
-	s := &Server{cmp: cmp, mux: http.NewServeMux()}
+	return NewServerFrom(comparisonProvider{cmp: cmp})
+}
+
+// NewServerFrom builds the dashboard over any report provider.
+func NewServerFrom(src Provider) *Server {
+	s := &Server{src: src, mux: http.NewServeMux()}
 	s.mux.HandleFunc("/", s.handleIndex)
 	s.mux.HandleFunc("/cdf.svg", s.handleCDF)
 	s.mux.HandleFunc("/occupancy.svg", s.handleOccupancy)
@@ -103,8 +135,11 @@ func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
 		FaultRows []faultRow
 		First     string
 	}{}
-	for _, name := range s.cmp.Order {
-		rep := s.cmp.Reports[name]
+	for _, name := range s.src.Order() {
+		rep, ok := s.src.Report(name)
+		if !ok {
+			continue
+		}
 		if rep.Faults.Any() {
 			data.FaultRows = append(data.FaultRows, faultRow{Name: name, F: rep.Faults})
 		}
@@ -119,8 +154,8 @@ func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
 			Realloc:     100 * rep.ReallocationFraction(),
 		})
 	}
-	if len(s.cmp.Order) > 0 {
-		data.First = s.cmp.Order[0]
+	if order := s.src.Order(); len(order) > 0 {
+		data.First = order[0]
 	}
 	w.Header().Set("Content-Type", "text/html; charset=utf-8")
 	if err := indexTmpl.Execute(w, data); err != nil {
@@ -130,8 +165,11 @@ func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleCDF(w http.ResponseWriter, r *http.Request) {
 	var series []svgSeries
-	for _, name := range s.cmp.Order {
-		rep := s.cmp.Reports[name]
+	for _, name := range s.src.Order() {
+		rep, ok := s.src.Report(name)
+		if !ok {
+			continue
+		}
 		sv := svgSeries{Name: name, Step: true}
 		sv.X = append(sv.X, 0)
 		sv.Y = append(sv.Y, 0)
@@ -147,10 +185,12 @@ func (s *Server) handleCDF(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) report(r *http.Request) (*metrics.Report, string, bool) {
 	name := r.URL.Query().Get("scheduler")
-	if name == "" && len(s.cmp.Order) > 0 {
-		name = s.cmp.Order[0]
+	if name == "" {
+		if order := s.src.Order(); len(order) > 0 {
+			name = order[0]
+		}
 	}
-	rep, ok := s.cmp.Reports[name]
+	rep, ok := s.src.Report(name)
 	return rep, name, ok
 }
 
@@ -176,9 +216,13 @@ func (s *Server) handleOccupancy(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleUtilization(w http.ResponseWriter, r *http.Request) {
 	var labels []string
 	var values []float64
-	for _, name := range s.cmp.Order {
+	for _, name := range s.src.Order() {
+		rep, ok := s.src.Report(name)
+		if !ok {
+			continue
+		}
 		labels = append(labels, name)
-		values = append(values, 100*s.cmp.Reports[name].Utilization())
+		values = append(values, 100*rep.Utilization())
 	}
 	w.Header().Set("Content-Type", "image/svg+xml")
 	fmt.Fprint(w, barSVG("GPU utilization", "%", 560, labels, values))
@@ -258,8 +302,11 @@ type summaryEntry struct {
 
 func (s *Server) handleSummary(w http.ResponseWriter, r *http.Request) {
 	var out []summaryEntry
-	for _, name := range s.cmp.Order {
-		rep := s.cmp.Reports[name]
+	for _, name := range s.src.Order() {
+		rep, ok := s.src.Report(name)
+		if !ok {
+			continue
+		}
 		e := summaryEntry{
 			Scheduler: name, AvgJCTSec: rep.AvgJCT(), MedianJCTSec: rep.MedianJCT(),
 			MakespanSec: rep.Makespan, Utilization: rep.Utilization(),
