@@ -10,7 +10,7 @@
 
 GO ?= go
 
-.PHONY: check build vet lint test race stress bench-smoke bench service-smoke experiments chaos fuzz-smoke cover
+.PHONY: check build vet lint test race stress bench-smoke bench service-smoke experiments chaos crash-smoke crash-chaos fuzz-smoke cover
 
 check: build vet lint test cover
 
@@ -102,3 +102,18 @@ experiments:
 # and a worker crash + restart, and must still complete every job.
 chaos:
 	$(GO) test -race -run 'TestChaosMatrix' -count=1 ./internal/rpccluster -args -chaosseeds=5
+
+# crash-smoke is the CI-sized kill/restart loop for the write-ahead
+# journal: a race-instrumented hadard is SIGKILLed (and torn mid-append
+# via the crash failpoint) at seeded points, restarted with -recover,
+# and must lose no acknowledged job, admit no duplicate, and replay to
+# byte-identical per-round schedule digests.
+crash-smoke:
+	$(GO) build -race -o bin/hadard-race ./cmd/hadard
+	$(GO) run ./cmd/crashchaos -hadard bin/hadard-race -seeds 4 -jobs 24 -timeout 120s
+
+# crash-chaos is the full sweep: >= 20 seeds, each killing the server
+# once or twice at a seed-derived point before finishing cleanly.
+crash-chaos:
+	$(GO) build -o bin/hadard ./cmd/hadard
+	$(GO) run ./cmd/crashchaos -hadard bin/hadard -seeds 20 -jobs 32 -timeout 120s

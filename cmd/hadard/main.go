@@ -7,6 +7,8 @@
 //	hadard [-scheduler hadar] [-cluster sim|physical] [-addr :8080]
 //	       [-clock virtual|wall] [-interval 50ms] [-queue 64]
 //	       [-round 6] [-validate=true]
+//	       [-wal DIR] [-recover] [-fsync always|group|off]
+//	       [-fsync-interval 2ms] [-checkpoint-every 256]
 //
 // The HTTP surface combines the dashboard (/, /jobs, /api/summary)
 // with the live control API:
@@ -15,6 +17,20 @@
 //	GET    /api/jobs/{id} lifecycle phase + live/final detail
 //	DELETE /api/jobs/{id} cancel a pending or running job
 //	GET    /api/snapshot  full cluster snapshot + admission stats
+//
+// With -wal DIR every accepted mutation is journaled before its HTTP
+// response, and -recover resumes from the journal after a crash: the
+// engine is rebuilt from the latest checkpoint plus a replay of the
+// journal tail, with every replayed round digest-verified against the
+// original run. SIGINT/SIGTERM trigger a graceful shutdown — in-flight
+// HTTP requests drain, the queue is rejected-and-emptied, the journal
+// is flushed, and a final checkpoint is written, so the next -recover
+// replays nothing.
+//
+// The HADARD_CRASH_AFTER_BYTES environment variable arms a crash
+// failpoint for the chaos harness (cmd/crashchaos): the journal append
+// that would cross that byte offset is torn partway through its frame
+// and the process exits hard — a SIGKILL landing inside write(2).
 //
 // Smoke mode (-smoke) swaps the HTTP server for an internal closed-loop
 // load drive: it generates a seeded workload, pushes it through the
@@ -25,11 +41,16 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
+	"net"
 	"net/http"
 	"os"
+	"os/signal"
+	"strconv"
+	"syscall"
 	"time"
 
 	"repro/internal/allox"
@@ -40,6 +61,7 @@ import (
 	"repro/internal/sched"
 	"repro/internal/service"
 	"repro/internal/sim"
+	"repro/internal/wal"
 	"repro/internal/web"
 )
 
@@ -53,6 +75,14 @@ func main() {
 		queue      = flag.Int("queue", 64, "admission queue depth (backpressure beyond this)")
 		roundMin   = flag.Float64("round", 6, "scheduling round length (simulated minutes)")
 		validate   = flag.Bool("validate", true, "run the invariant oracle on every round")
+		addrFile   = flag.String("addr-file", "", "write the bound listen address to this file (use with -addr 127.0.0.1:0)")
+		drainWait  = flag.Duration("drain", 5*time.Second, "graceful-shutdown deadline for in-flight HTTP requests")
+
+		walDir     = flag.String("wal", "", "write-ahead journal directory (empty = no durability)")
+		recoverWAL = flag.Bool("recover", false, "resume from the journal and checkpoint in -wal")
+		fsyncSel   = flag.String("fsync", "group", "journal fsync policy: always, group, or off")
+		fsyncEvery = flag.Duration("fsync-interval", 2*time.Millisecond, "longest a verdict waits for its group fsync (-fsync group)")
+		ckptEvery  = flag.Int("checkpoint-every", 256, "journal records between engine checkpoints")
 
 		smoke        = flag.Bool("smoke", false, "run the internal load-generator smoke test and exit")
 		smokeJobs    = flag.Int("smoke-jobs", 120, "smoke: number of jobs to generate")
@@ -88,11 +118,34 @@ func main() {
 		fmt.Fprintf(os.Stderr, "hadard: unknown clock %q\n", *clockSel)
 		os.Exit(2)
 	}
+	if *walDir == "" && *recoverWAL {
+		fmt.Fprintln(os.Stderr, "hadard: -recover requires -wal")
+		os.Exit(2)
+	}
+	if *walDir != "" {
+		pol, err := wal.ParsePolicy(*fsyncSel)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "hadard: %v\n", err)
+			os.Exit(2)
+		}
+		opts.WAL = &service.WALConfig{
+			Dir:             *walDir,
+			Policy:          pol,
+			GroupInterval:   *fsyncEvery,
+			CheckpointEvery: *ckptEvery,
+			Recover:         *recoverWAL,
+			FailPoint:       crashFailPoint(),
+		}
+	}
 
 	svc, err := service.New(c, s, opts)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "hadard: %v\n", err)
 		os.Exit(1)
+	}
+	if r := svc.Recovery(); r != nil {
+		doc, _ := json.Marshal(r)
+		fmt.Printf("hadard: recovered: %s\n", doc)
 	}
 	svc.Start()
 
@@ -100,12 +153,78 @@ func main() {
 		os.Exit(runSmoke(svc, *smokeJobs, *smokeModel, *smokeRate, *smokeSeed, *smokeTimeout))
 	}
 
-	fmt.Printf("hadard: %s on %s cluster (%d GPUs), %s clock, queue depth %d — listening on %s\n",
-		s.Name(), *clusterSel, c.TotalGPUs(), *clockSel, *queue, *addr)
-	srv := web.NewLiveServer(svc)
-	if err := http.ListenAndServe(*addr, srv.Handler()); err != nil {
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
 		fmt.Fprintf(os.Stderr, "hadard: %v\n", err)
 		os.Exit(1)
+	}
+	if *addrFile != "" {
+		if err := os.WriteFile(*addrFile, []byte(ln.Addr().String()), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "hadard: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	fmt.Printf("hadard: %s on %s cluster (%d GPUs), %s clock, queue depth %d — listening on %s\n",
+		s.Name(), *clusterSel, c.TotalGPUs(), *clockSel, *queue, ln.Addr())
+
+	srv := &http.Server{Handler: web.NewLiveServer(svc).Handler()}
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+	select {
+	case err := <-serveErr:
+		fmt.Fprintf(os.Stderr, "hadard: %v\n", err)
+		os.Exit(1)
+	case <-ctx.Done():
+	}
+	stopSignals() // a second signal kills immediately
+
+	// Graceful shutdown: drain in-flight HTTP requests, then stop the
+	// service — which rejects and empties the admission queue, flushes
+	// deferred group commits, writes a final checkpoint, and closes the
+	// journal. After this a -recover restart replays nothing.
+	fmt.Println("hadard: shutdown signal — draining")
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drainWait)
+	defer cancel()
+	if err := srv.Shutdown(drainCtx); err != nil {
+		fmt.Fprintf(os.Stderr, "hadard: http drain: %v\n", err)
+	}
+	if _, err := svc.Stop(); err != nil {
+		fmt.Fprintf(os.Stderr, "hadard: stop: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Println("hadard: clean shutdown (journal flushed, checkpoint written)")
+}
+
+// crashFailPoint arms the chaos harness's mid-append kill. When
+// HADARD_CRASH_AFTER_BYTES=N is set, the journal append that would
+// cross byte offset N is torn at a threshold-derived position inside
+// the frame and the process exits hard a moment later, emulating a
+// SIGKILL that lands inside write(2). The short grace lets the torn
+// bytes reach the file before the exit.
+func crashFailPoint() wal.FailPoint {
+	env := os.Getenv("HADARD_CRASH_AFTER_BYTES")
+	if env == "" {
+		return nil
+	}
+	after, err := strconv.ParseInt(env, 10, 64)
+	if err != nil || after < 0 {
+		fmt.Fprintf(os.Stderr, "hadard: bad HADARD_CRASH_AFTER_BYTES %q\n", env)
+		os.Exit(2)
+	}
+	tripped := make(chan struct{})
+	go func() {
+		<-tripped
+		time.Sleep(10 * time.Millisecond)
+		os.Exit(137)
+	}()
+	return func(offset int64, frame []byte) int {
+		if offset+int64(len(frame)) <= after {
+			return -1
+		}
+		close(tripped)
+		return int(after % int64(len(frame)+1))
 	}
 }
 

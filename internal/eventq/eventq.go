@@ -7,6 +7,7 @@ package eventq
 
 import (
 	"container/heap"
+	"sort"
 
 	"repro/internal/bug"
 )
@@ -75,6 +76,25 @@ func (q *EventQueue) Peek() Event {
 
 // Len reports the number of pending events.
 func (q *EventQueue) Len() int { return len(q.h) }
+
+// Snapshot returns a copy of every pending event in pop order — (Time,
+// Seq) ascending — without disturbing the queue. Checkpointing uses it
+// to serialize the queue; re-pushing the events in this order onto a
+// fresh queue reproduces the original pop order (fresh sequence numbers
+// are assigned in the same relative order).
+func (q *EventQueue) Snapshot() []Event {
+	out := append([]Event(nil), q.h...)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Time < out[j].Time {
+			return true
+		}
+		if out[i].Time > out[j].Time {
+			return false
+		}
+		return out[i].Seq < out[j].Seq
+	})
+	return out
+}
 
 // Indexed is a min-heap of integer IDs keyed by a float64 priority,
 // supporting O(log n) priority updates and removals by ID. Lower

@@ -145,7 +145,10 @@ var schedulerPath = []string{
 // into the schedule itself. service and loadgen belong here, not in
 // schedulerPath: their seeded workloads and snapshots must replay
 // identically, but their pacing (wall-clock rounds, retry backoff) is
-// legitimately real-time, like rpccluster's.
+// legitimately real-time, like rpccluster's. wal is here too: its
+// frames and checkpoints must be byte-reproducible, but fsync pacing
+// (group-commit deadlines) is wall-clock by nature, so it stays out of
+// the wallclock rule's scope below.
 var reportingPath = []string{
 	"repro/internal/metrics",
 	"repro/internal/export",
@@ -154,6 +157,7 @@ var reportingPath = []string{
 	"repro/internal/service",
 	"repro/internal/loadgen",
 	"repro/internal/stats",
+	"repro/internal/wal",
 	"repro/cmd/dashboard",
 }
 

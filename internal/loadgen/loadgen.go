@@ -185,6 +185,14 @@ type Target interface {
 	Submit(j *job.Job) error
 }
 
+// KeyedTarget is the idempotent submission surface: resubmitting the
+// same key must return the original admission instead of a duplicate.
+// *service.Service satisfies it; so does an HTTP client posting the
+// key with the job spec.
+type KeyedTarget interface {
+	SubmitKeyed(key string, j *job.Job) (id int, deduped bool, err error)
+}
+
 // DriveOptions bounds a closed-loop run.
 type DriveOptions struct {
 	// MaxDuration stops the driver after this much wall time even if
@@ -193,14 +201,26 @@ type DriveOptions struct {
 	// MaxRetries caps back-to-back busy retries for one job before the
 	// driver gives up on the run (a stuck service). Default 1000.
 	MaxRetries int
+	// KeyFunc derives an idempotency key per job. When set and the
+	// target implements KeyedTarget, Drive submits keyed and safely
+	// retries ambiguous failures (verdict timeouts) as well as
+	// backpressure: the key guarantees a retry after a lost ack cannot
+	// double-admit.
+	KeyFunc func(j *job.Job) string
 }
 
 // Result reports what a closed-loop drive sustained.
 type Result struct {
 	// Submitted counts jobs the service accepted.
 	Submitted int `json:"submitted"`
+	// Deduped counts keyed submissions answered from the service's
+	// idempotency ledger — retries whose first attempt had actually
+	// landed.
+	Deduped int `json:"deduped"`
 	// BusyRetries counts backpressure rejections that were retried.
 	BusyRetries int `json:"busy_retries"`
+	// DeadRetries counts verdict-timeout retries (keyed drives only).
+	DeadRetries int `json:"dead_retries"`
 	// Elapsed is the wall time the drive took.
 	Elapsed time.Duration `json:"elapsed_ns"`
 }
@@ -216,11 +236,14 @@ func (r Result) PerSecond() float64 {
 // Drive submits the jobs to the target in order, as fast as the target
 // admits them: each *BusyError backoff sleeps the suggested RetryAfter
 // and resubmits the same job, so admission control is exercised without
-// losing work. Any non-backpressure error aborts the drive.
+// losing work. With DriveOptions.KeyFunc and a KeyedTarget, verdict
+// timeouts (*service.DeadError) are retried too — the idempotency key
+// makes the ambiguous retry safe. Any other error aborts the drive.
 func Drive(t Target, jobs []*job.Job, opts DriveOptions) (res Result, err error) {
 	if opts.MaxRetries <= 0 {
 		opts.MaxRetries = 1000
 	}
+	keyed, _ := t.(KeyedTarget)
 	start := time.Now()
 	defer func() { res.Elapsed = time.Since(start) }()
 	for _, j := range jobs {
@@ -229,21 +252,38 @@ func Drive(t Target, jobs []*job.Job, opts DriveOptions) (res Result, err error)
 			if opts.MaxDuration > 0 && time.Since(start) >= opts.MaxDuration {
 				return res, nil
 			}
-			err := t.Submit(j)
+			var deduped bool
+			var err error
+			if keyed != nil && opts.KeyFunc != nil {
+				_, deduped, err = keyed.SubmitKeyed(opts.KeyFunc(j), j)
+			} else {
+				err = t.Submit(j)
+			}
 			if err == nil {
-				res.Submitted++
+				if deduped {
+					res.Deduped++
+				} else {
+					res.Submitted++
+				}
 				break
 			}
-			var busy *service.BusyError
-			if !errors.As(err, &busy) {
-				return res, fmt.Errorf("loadgen: submit %v: %w", j, err)
-			}
-			res.BusyRetries++
 			retries++
 			if retries > opts.MaxRetries {
-				return res, fmt.Errorf("loadgen: job %d rejected busy %d times in a row", j.ID, retries)
+				return res, fmt.Errorf("loadgen: job %d failed %d times in a row: %w", j.ID, retries, err)
 			}
-			time.Sleep(busy.RetryAfter)
+			var busy *service.BusyError
+			var dead *service.DeadError
+			switch {
+			case errors.As(err, &busy):
+				res.BusyRetries++
+				time.Sleep(busy.RetryAfter)
+			case errors.As(err, &dead) && keyed != nil && opts.KeyFunc != nil:
+				// Ambiguous: the mutation may have landed without its
+				// verdict. The key dedups the resubmission either way.
+				res.DeadRetries++
+			default:
+				return res, fmt.Errorf("loadgen: submit %v: %w", j, err)
+			}
 		}
 	}
 	return res, nil

@@ -2,6 +2,7 @@ package loadgen
 
 import (
 	"errors"
+	"strconv"
 	"testing"
 	"time"
 
@@ -224,3 +225,93 @@ func TestDriveAgainstLiveService(t *testing.T) {
 		t.Errorf("sustained rate = %v, want > 0", rate)
 	}
 }
+
+// keyedStub scripts SubmitKeyed outcomes and records the keys it saw,
+// replying deduped for any key it has already accepted.
+type keyedStub struct {
+	stubTarget
+	accepted map[string]int
+	keys     []string
+}
+
+func (s *keyedStub) SubmitKeyed(key string, j *job.Job) (int, bool, error) {
+	s.keys = append(s.keys, key)
+	if len(s.errs) > 0 {
+		err := s.errs[0]
+		s.errs = s.errs[1:]
+		if err != nil {
+			return 0, false, err
+		}
+	}
+	if s.accepted == nil {
+		s.accepted = make(map[string]int)
+	}
+	if id, ok := s.accepted[key]; ok {
+		return id, true, nil
+	}
+	s.accepted[key] = j.ID
+	s.got = append(s.got, j.ID)
+	return j.ID, false, nil
+}
+
+// TestDriveKeyedRetriesDeadError: with an idempotency key a verdict
+// timeout is retried instead of aborting the drive, and a retry whose
+// first attempt landed counts as deduped rather than submitted.
+func TestDriveKeyedRetriesDeadError(t *testing.T) {
+	dead := &service.DeadError{Waited: time.Millisecond}
+	target := &keyedStub{stubTarget: stubTarget{errs: []error{dead, nil, nil}}}
+	jobs, err := Generate(Config{Model: Poisson, Jobs: 2, Seed: 1, Rate: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Drive(target, jobs, DriveOptions{
+		KeyFunc: func(j *job.Job) string { return "job-" + itoa(j.ID) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Submitted != 2 || res.DeadRetries != 1 {
+		t.Errorf("result = %+v, want 2 submitted with 1 dead retry", res)
+	}
+	if len(target.keys) != 3 {
+		t.Errorf("target saw keys %v, want 3 attempts", target.keys)
+	}
+	if target.keys[0] != target.keys[1] {
+		t.Errorf("retry changed the key: %q then %q", target.keys[0], target.keys[1])
+	}
+}
+
+// TestDriveKeyedCountsDeduped: a key the service already accepted (the
+// ack was lost, the work was not) lands in Deduped, not Submitted.
+func TestDriveKeyedCountsDeduped(t *testing.T) {
+	target := &keyedStub{accepted: map[string]int{"job-0": 100}}
+	jobs, err := Generate(Config{Model: Poisson, Jobs: 2, Seed: 1, Rate: 1, FirstID: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Drive(target, jobs, DriveOptions{
+		KeyFunc: func(j *job.Job) string { return "job-" + itoa(j.ID) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Submitted != 1 || res.Deduped != 1 {
+		t.Errorf("result = %+v, want 1 submitted + 1 deduped", res)
+	}
+}
+
+// TestDriveUnkeyedDeadErrorAborts: without a key the ambiguous timeout
+// must abort rather than risk double-admission.
+func TestDriveUnkeyedDeadErrorAborts(t *testing.T) {
+	dead := &service.DeadError{Waited: time.Millisecond}
+	target := &stubTarget{errs: []error{dead}}
+	jobs, err := Generate(Config{Model: Poisson, Jobs: 1, Seed: 1, Rate: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Drive(target, jobs, DriveOptions{}); err == nil {
+		t.Fatal("unkeyed drive swallowed a verdict timeout")
+	}
+}
+
+func itoa(n int) string { return strconv.Itoa(n) }

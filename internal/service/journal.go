@@ -1,0 +1,208 @@
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"path/filepath"
+	"time"
+
+	"repro/internal/job"
+	"repro/internal/wal"
+)
+
+// WALConfig enables the write-ahead journal: every accepted mutation
+// (submission, cancellation, round boundary) is appended to a
+// CRC-framed journal before the verdict returns to the caller, and the
+// engine state is checkpointed periodically so recovery replays a
+// bounded tail.
+type WALConfig struct {
+	// Dir holds the journal (journal.wal) and checkpoint
+	// (checkpoint.ckpt) files. It must exist.
+	Dir string
+	// Policy selects durability: SyncAlways fsyncs before every verdict
+	// (survives machine crashes), SyncGroup batches fsyncs across
+	// concurrent requests and defers their verdicts until the batch is
+	// on disk, SyncOff never fsyncs (survives process kills via the
+	// page cache, not machine crashes).
+	Policy wal.SyncPolicy
+	// GroupInterval bounds how long a SyncGroup verdict may wait for
+	// its batch fsync. Default 2ms.
+	GroupInterval time.Duration
+	// CheckpointEvery is the number of journal records between engine
+	// checkpoints. Default 256.
+	CheckpointEvery int
+	// Recover resumes from existing state in Dir — latest valid
+	// checkpoint plus journal tail — and starts fresh when Dir is
+	// empty. Without Recover, New refuses a Dir that already has a
+	// journal rather than silently overwriting it.
+	Recover bool
+	// FailPoint, when non-nil, is passed to the journal writer for
+	// crash-injection tests (see wal.FailPoint).
+	FailPoint wal.FailPoint
+}
+
+func (c *WALConfig) normalize() {
+	if c.GroupInterval <= 0 {
+		c.GroupInterval = 2 * time.Millisecond
+	}
+	if c.CheckpointEvery <= 0 {
+		c.CheckpointEvery = 256
+	}
+}
+
+func journalPath(dir string) string    { return filepath.Join(dir, "journal.wal") }
+func checkpointPath(dir string) string { return filepath.Join(dir, "checkpoint.ckpt") }
+
+// Journal record types. Submission and cancellation records are
+// appended after the engine accepts the mutation and before the caller
+// sees the verdict; round records are appended after every processed
+// boundary and carry the engine's chained digest so recovery can prove
+// the replayed schedule is byte-identical to the original.
+const (
+	recSubmit = "submit"
+	recCancel = "cancel"
+	recRound  = "round"
+)
+
+// walRecord is the JSON payload of one journal frame.
+type walRecord struct {
+	Type string `json:"type"`
+	// Key is the submission's idempotency key, if any.
+	Key string   `json:"key,omitempty"`
+	Job *job.Job `json:"job,omitempty"`
+	// ID is the cancellation target.
+	ID int `json:"id,omitempty"`
+	// Round/Now/Digest describe the engine immediately after a
+	// processed boundary.
+	Round  int     `json:"round,omitempty"`
+	Now    float64 `json:"now_s,omitempty"`
+	Digest uint64  `json:"digest,omitempty"`
+}
+
+// checkpointDoc is the payload of the checkpoint file: the serialized
+// engine plus the service-level state that must survive with it.
+type checkpointDoc struct {
+	// Seq is the number of journal records the checkpointed state
+	// embodies; recovery replays the journal from this index.
+	Seq int `json:"seq"`
+	// Keys is the idempotent-submission ledger (key -> job ID).
+	Keys map[string]int `json:"keys,omitempty"`
+	// Engine is sim.Engine.MarshalState output.
+	Engine json.RawMessage `json:"engine"`
+}
+
+// pendingVerdict is a group-commit deferral: the mutation is applied
+// and journaled but not yet fsynced, so the caller's verdict waits for
+// the batch sync.
+type pendingVerdict struct {
+	reply chan verdict
+	v     verdict
+}
+
+// commit makes one accepted mutation durable per the sync policy and
+// delivers its verdict. The record is already applied to the engine;
+// commit appends it to the journal and either replies immediately
+// (SyncAlways fsyncs inside Append; SyncOff trades durability for
+// latency) or defers the reply until the next group sync.
+func (s *Service) commit(rec walRecord, reply chan verdict, v verdict) {
+	if s.journal == nil {
+		reply <- v
+		return
+	}
+	if err := s.appendRecord(rec); err != nil {
+		reply <- verdict{err: fmt.Errorf("service: journal append: %w", err)}
+		return
+	}
+	if s.journal.Policy() == wal.SyncGroup {
+		if len(s.pending) == 0 {
+			s.groupDeadline = time.Now().Add(s.walCfg.GroupInterval)
+		}
+		s.pending = append(s.pending, pendingVerdict{reply: reply, v: v})
+		return
+	}
+	reply <- v
+}
+
+// appendRecord marshals and appends one journal frame, tracking the
+// absolute record count for checkpoint addressing. A failed append
+// poisons the journal path: walErr sticks and the run loop exits.
+func (s *Service) appendRecord(rec walRecord) error {
+	payload, err := json.Marshal(&rec)
+	if err != nil {
+		s.walErr = err
+		return err
+	}
+	if err := s.journal.Append(payload); err != nil {
+		s.walErr = err
+		return err
+	}
+	s.applied++
+	s.sinceCkpt++
+	return nil
+}
+
+// groupTimer returns a channel that fires when the oldest deferred
+// verdict's group-commit deadline expires, or nil (blocks forever)
+// when nothing is deferred.
+func (s *Service) groupTimer() <-chan time.Time {
+	if len(s.pending) == 0 {
+		return nil
+	}
+	d := time.Until(s.groupDeadline)
+	if d < 0 {
+		d = 0
+	}
+	return time.After(d)
+}
+
+// flushGroup syncs the journal and releases every deferred verdict.
+// With force false it only acts once the group deadline has passed.
+func (s *Service) flushGroup(force bool) {
+	if len(s.pending) == 0 {
+		return
+	}
+	if !force && time.Now().Before(s.groupDeadline) {
+		return
+	}
+	err := s.journal.Sync()
+	if err != nil {
+		s.walErr = err
+		err = fmt.Errorf("service: journal sync: %w", err)
+	}
+	for _, p := range s.pending {
+		if err != nil {
+			p.reply <- verdict{err: err}
+		} else {
+			p.reply <- p.v
+		}
+	}
+	s.pending = s.pending[:0]
+}
+
+// maybeCheckpoint writes an engine checkpoint once enough journal
+// records have accumulated since the last one. Checkpoint failures are
+// not fatal: the journal remains the source of truth and recovery
+// simply replays a longer tail.
+func (s *Service) maybeCheckpoint() {
+	if s.journal == nil || s.sinceCkpt < s.walCfg.CheckpointEvery {
+		return
+	}
+	s.writeCheckpoint()
+}
+
+// writeCheckpoint persists the engine and key ledger at the current
+// journal position.
+func (s *Service) writeCheckpoint() {
+	state, err := s.eng.MarshalState()
+	if err != nil {
+		return // a poisoned engine has nothing worth persisting
+	}
+	doc := checkpointDoc{Seq: s.applied, Keys: s.keys, Engine: state}
+	payload, err := json.Marshal(&doc)
+	if err != nil {
+		return
+	}
+	if wal.WriteCheckpoint(checkpointPath(s.walCfg.Dir), payload) == nil {
+		s.sinceCkpt = 0
+	}
+}

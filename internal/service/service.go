@@ -24,6 +24,7 @@ package service
 import (
 	"errors"
 	"fmt"
+	"os"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -33,6 +34,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/sched"
 	"repro/internal/sim"
+	"repro/internal/wal"
 )
 
 // ClockMode selects how simulated round boundaries map to real time.
@@ -77,6 +79,15 @@ type Options struct {
 	// RoundInterval is the real time per round boundary in WallClock
 	// mode. Default 50ms.
 	RoundInterval time.Duration
+	// RequestTimeout bounds how long Submit/Cancel wait for the engine
+	// goroutine's verdict after enqueueing; expiry returns *DeadError
+	// instead of blocking forever on a wedged loop. Default 30s;
+	// negative disables the deadline.
+	RequestTimeout time.Duration
+	// WAL, when non-nil, enables the write-ahead journal: accepted
+	// mutations are made durable before their verdicts return, and the
+	// service can recover its exact state after a crash.
+	WAL *WALConfig
 }
 
 func (o *Options) normalize() {
@@ -93,11 +104,28 @@ func (o *Options) normalize() {
 			o.RetryAfter = 10 * time.Millisecond
 		}
 	}
+	if o.RequestTimeout == 0 {
+		o.RequestTimeout = 30 * time.Second
+	}
 }
 
 // ErrStopped is returned by Submit/Cancel once the service has shut
 // down (or its engine hit a sticky error and the loop exited).
 var ErrStopped = errors.New("service: scheduler service stopped")
+
+// ErrKilled is the final error of a service terminated by Kill: a
+// simulated crash that skips every graceful-shutdown step.
+var ErrKilled = errors.New("service: killed")
+
+// DeadError reports that the engine goroutine did not deliver a
+// verdict within Options.RequestTimeout. The request may or may not
+// have been applied; an idempotency key makes the retry safe.
+type DeadError struct{ Waited time.Duration }
+
+// Error describes the expired deadline.
+func (e *DeadError) Error() string {
+	return fmt.Sprintf("service: no verdict within %v", e.Waited)
+}
 
 // BusyError reports a full admission queue: the caller should back off
 // for RetryAfter and resubmit. It maps to HTTP 429 + Retry-After.
@@ -120,6 +148,9 @@ type Stats struct {
 	RejectedInvalid int64 `json:"rejected_invalid"`
 	// Cancelled counts cancellations the engine accepted.
 	Cancelled int64 `json:"cancelled"`
+	// Deduped counts keyed submissions answered from the idempotency
+	// ledger without touching the engine.
+	Deduped int64 `json:"deduped"`
 	// Rounds counts processed round boundaries (including idle
 	// fast-forwards).
 	Rounds int64 `json:"rounds"`
@@ -135,10 +166,22 @@ const (
 // request is one admission-queue entry; reply carries the engine's
 // verdict back to the caller (buffered so the loop never blocks).
 type request struct {
-	kind  reqKind
-	job   *job.Job
-	id    int
-	reply chan error
+	kind reqKind
+	job  *job.Job
+	id   int
+	// key is the submission's idempotency ledger key ("" for unkeyed).
+	key   string
+	reply chan verdict
+}
+
+// verdict is the engine goroutine's answer to one request.
+type verdict struct {
+	// id is the accepted job's ID (submissions) or the cancelled
+	// job's (cancellations).
+	id int
+	// deduped marks a keyed submission answered from the ledger.
+	deduped bool
+	err     error
 }
 
 // Service fronts one sim.Engine with a goroutine-owned event loop,
@@ -162,8 +205,34 @@ type Service struct {
 	rejectedBusy    atomic.Int64
 	rejectedInvalid atomic.Int64
 	cancelled       atomic.Int64
+	deduped         atomic.Int64
 	rounds          atomic.Int64
 	nextID          atomic.Int64
+
+	// killed marks a simulated crash: shutdown aborts the journal and
+	// skips the final checkpoint.
+	killed atomic.Bool
+
+	// The fields below are owned by the engine goroutine (or set once
+	// in New before Start).
+	walCfg  WALConfig
+	journal *wal.Writer
+	// keys is the idempotency ledger: submission key -> accepted job
+	// ID. It is journaled with submissions and checkpointed.
+	keys map[string]int
+	// applied counts journal records ever appended or replayed; it is
+	// the checkpoint's replay cursor.
+	applied   int
+	sinceCkpt int
+	// pending holds group-commit verdicts awaiting the batch fsync.
+	pending       []pendingVerdict
+	groupDeadline time.Time
+	// walErr is the sticky journal failure; once set the loop exits
+	// and every later request is refused with it.
+	walErr error
+	// recovery describes what startup recovery did (nil without WAL
+	// recovery).
+	recovery *Recovery
 
 	// finalReport/finalErr are written by the run goroutine before it
 	// closes stopped and read only after <-stopped.
@@ -171,27 +240,105 @@ type Service struct {
 	finalErr    error
 }
 
-// New builds a service over a fresh engine. The service is inert until
-// Start; requests submitted before Start wait in the admission queue.
+// New builds a service over a fresh engine — or, with Options.WAL in
+// Recover mode, over the engine reconstructed from the journal and
+// checkpoint in WAL.Dir. The service is inert until Start; requests
+// submitted before Start wait in the admission queue.
 func New(c *cluster.Cluster, s sched.Scheduler, opts Options) (*Service, error) {
 	opts.normalize()
-	eng, err := sim.NewEngine(c, s, opts.Sim)
-	if err != nil {
-		return nil, err
-	}
 	svc := &Service{
 		opts:    opts,
 		name:    s.Name(),
-		eng:     eng,
+		keys:    make(map[string]int),
 		reqs:    make(chan request, opts.QueueDepth),
 		stop:    make(chan struct{}),
 		stopped: make(chan struct{}),
 	}
+	if opts.WAL != nil {
+		if err := svc.initWAL(c, s, opts); err != nil {
+			return nil, err
+		}
+	} else {
+		eng, err := sim.NewEngine(c, s, opts.Sim)
+		if err != nil {
+			return nil, err
+		}
+		svc.eng = eng
+	}
 	// Auto-assigned IDs (NextID) start high so they stay clear of
-	// trace-style sequential IDs chosen by clients.
-	svc.nextID.Store(1 << 20)
-	svc.snap.Store(eng.Snapshot())
+	// trace-style sequential IDs chosen by clients; after recovery they
+	// additionally stay clear of every ID already journaled.
+	next := int64(1 << 20)
+	//lint:ignore maprange max over keys; commutative, order cannot be observed
+	for id := range svc.eng.Snapshot().Phases {
+		if int64(id) > next {
+			next = int64(id)
+		}
+	}
+	svc.nextID.Store(next)
+	svc.snap.Store(svc.eng.Snapshot())
 	return svc, nil
+}
+
+// initWAL opens (or recovers) the durability state in opts.WAL.Dir and
+// installs the journal writer.
+func (s *Service) initWAL(c *cluster.Cluster, sch sched.Scheduler, opts Options) error {
+	cfg := *opts.WAL
+	cfg.normalize()
+	s.walCfg = cfg
+	if !cfg.Recover {
+		if _, err := os.Stat(journalPath(cfg.Dir)); err == nil {
+			return fmt.Errorf("service: %s already has a journal; pass Recover to resume it or remove it first",
+				cfg.Dir)
+		}
+		eng, err := sim.NewEngine(c, sch, opts.Sim)
+		if err != nil {
+			return err
+		}
+		w, err := wal.Create(journalPath(cfg.Dir), cfg.Policy, cfg.FailPoint)
+		if err != nil {
+			return fmt.Errorf("service: create journal: %w", err)
+		}
+		s.eng = eng
+		s.journal = w
+		return nil
+	}
+	st, err := recoverState(c, sch, opts.Sim, cfg)
+	if err != nil {
+		return err
+	}
+	w, err := wal.OpenAppend(journalPath(cfg.Dir), st.validSize, cfg.Policy, cfg.FailPoint)
+	if err != nil {
+		return fmt.Errorf("service: reopen journal: %w", err)
+	}
+	s.eng = st.eng
+	s.journal = w
+	s.keys = st.keys
+	s.applied = st.applied
+	s.recovery = st.info
+	// Re-anchor the checkpoint at the recovered position: this bounds
+	// the next crash's replay and, after a checkpoint-ahead-of-journal
+	// recovery, realigns the checkpoint sequence with the (restarted)
+	// journal frame count.
+	if st.applied > 0 || st.info.CheckpointSeq > 0 {
+		s.writeCheckpoint()
+	}
+	return nil
+}
+
+// Recovery reports what startup recovery did, or nil when the service
+// did not recover from a journal.
+func (s *Service) Recovery() *Recovery { return s.recovery }
+
+// Kill simulates a crash: the engine loop exits without draining the
+// admission queue, flushing the journal, or writing a final
+// checkpoint, exactly as if the process had died. Stop afterwards
+// returns ErrKilled. The journal is left as a real crash would leave
+// it, so a new service can Recover from it.
+func (s *Service) Kill() {
+	s.killed.Store(true)
+	s.Start() // an unstarted service can still be killed
+	s.stopOnce.Do(func() { close(s.stop) })
 }
 
 // Start launches the engine goroutine. Safe to call once; later calls
@@ -215,40 +362,59 @@ func (s *Service) Stop() (*metrics.Report, error) {
 // It fails fast with *BusyError when the admission queue is full and
 // with ErrStopped after shutdown; any other error is the engine's
 // validation verdict (bad job, impossible placement, duplicate ID).
+// With a journal enabled the verdict is durable before it returns.
 func (s *Service) Submit(j *job.Job) error {
-	return s.send(request{kind: submitReq, job: j, reply: make(chan error, 1)})
+	return s.send(request{kind: submitReq, job: j, reply: make(chan verdict, 1)}).err
+}
+
+// SubmitKeyed is Submit with an idempotency key: resubmitting the same
+// key — after a timeout, a crash, or a retried HTTP request — returns
+// the originally accepted job's ID with deduped true instead of
+// admitting a duplicate. The key ledger is journaled and survives
+// recovery.
+func (s *Service) SubmitKeyed(key string, j *job.Job) (id int, deduped bool, err error) {
+	v := s.send(request{kind: submitReq, job: j, key: key, reply: make(chan verdict, 1)})
+	return v.id, v.deduped, v.err
 }
 
 // Cancel withdraws a submitted job (pending or running) at the next
 // boundary. Backpressure and shutdown behave exactly as in Submit.
 func (s *Service) Cancel(id int) error {
-	return s.send(request{kind: cancelReq, id: id, reply: make(chan error, 1)})
+	return s.send(request{kind: cancelReq, id: id, reply: make(chan verdict, 1)}).err
 }
 
-func (s *Service) send(r request) error {
+func (s *Service) send(r request) verdict {
 	select {
 	case <-s.stopped:
-		return ErrStopped
+		return verdict{err: ErrStopped}
 	default:
 	}
 	select {
 	case s.reqs <- r:
 	default:
 		s.rejectedBusy.Add(1)
-		return &BusyError{RetryAfter: s.opts.RetryAfter}
+		return verdict{err: &BusyError{RetryAfter: s.opts.RetryAfter}}
+	}
+	var deadline <-chan time.Time
+	if s.opts.RequestTimeout > 0 {
+		t := time.NewTimer(s.opts.RequestTimeout)
+		defer t.Stop()
+		deadline = t.C
 	}
 	select {
-	case err := <-r.reply:
-		return err
+	case v := <-r.reply:
+		return v
 	case <-s.stopped:
 		// The loop drains the queue before closing stopped, so a reply
 		// may already be waiting; prefer it over the shutdown signal.
 		select {
-		case err := <-r.reply:
-			return err
+		case v := <-r.reply:
+			return v
 		default:
-			return ErrStopped
+			return verdict{err: ErrStopped}
 		}
+	case <-deadline:
+		return verdict{err: &DeadError{Waited: s.opts.RequestTimeout}}
 	}
 }
 
@@ -267,6 +433,7 @@ func (s *Service) Stats() Stats {
 		RejectedBusy:    s.rejectedBusy.Load(),
 		RejectedInvalid: s.rejectedInvalid.Load(),
 		Cancelled:       s.cancelled.Load(),
+		Deduped:         s.deduped.Load(),
 		Rounds:          s.rounds.Load(),
 	}
 }
@@ -313,11 +480,18 @@ func (s *Service) runVirtual() {
 			}
 			break
 		}
+		if s.walErr != nil {
+			return
+		}
+		s.flushGroup(false)
 		if !s.eng.HasPendingEvents() {
-			// Idle: nothing to schedule until a request or stop.
+			// Idle: nothing to schedule until a request, a pending
+			// group commit, or stop.
 			select {
 			case r := <-s.reqs:
 				s.handle(r)
+			case <-s.groupTimer():
+				s.flushGroup(true)
 			case <-s.stop:
 				return
 			}
@@ -326,6 +500,7 @@ func (s *Service) runVirtual() {
 		if !s.processBoundary() {
 			return
 		}
+		s.maybeCheckpoint()
 	}
 }
 
@@ -335,70 +510,128 @@ func (s *Service) runWall() {
 	tick := time.NewTicker(s.opts.RoundInterval)
 	defer tick.Stop()
 	for {
+		if s.walErr != nil {
+			return
+		}
 		select {
 		case r := <-s.reqs:
 			s.handle(r)
+		case <-s.groupTimer():
+			s.flushGroup(true)
 		case <-tick.C:
 			if s.eng.HasPendingEvents() && !s.processBoundary() {
 				return
 			}
+			s.maybeCheckpoint()
 		case <-s.stop:
 			return
 		}
 	}
 }
 
-// processBoundary advances the engine one boundary and publishes a
-// fresh snapshot; false means the engine hit a sticky error and the
-// loop must exit.
+// processBoundary advances the engine one boundary, journals it, and
+// publishes a fresh snapshot; false means the engine or journal hit a
+// sticky error and the loop must exit.
 func (s *Service) processBoundary() bool {
 	if err := s.eng.ProcessNextEvent(); err != nil {
 		return false
 	}
 	s.rounds.Add(1)
 	s.snap.Store(s.eng.Snapshot())
+	if s.journal != nil {
+		// Round records need no eager fsync: no caller is waiting on
+		// them, and any later synced record makes them durable first
+		// (the journal is strictly sequential). Recovery uses the
+		// recorded digest to prove the replayed schedule identical.
+		rec := walRecord{Type: recRound, Round: s.eng.Round(), Now: s.eng.Now(), Digest: s.eng.Digest()}
+		if s.appendRecord(rec) != nil {
+			return false
+		}
+	}
 	return true
 }
 
-// handle applies one admission-queue request to the engine.
+// handle applies one admission-queue request to the engine and commits
+// it to the journal before the verdict is released.
 func (s *Service) handle(r request) {
-	var err error
+	if s.walErr != nil {
+		r.reply <- verdict{err: fmt.Errorf("service: journal failed: %w", s.walErr)}
+		return
+	}
 	switch r.kind {
 	case submitReq:
-		err = s.eng.SubmitJob(r.job)
-		if err == nil {
-			s.accepted.Add(1)
-		} else {
+		if r.key != "" {
+			if id, ok := s.keys[r.key]; ok {
+				s.deduped.Add(1)
+				r.reply <- verdict{id: id, deduped: true}
+				return
+			}
+		}
+		if err := s.eng.SubmitJob(r.job); err != nil {
 			s.rejectedInvalid.Add(1)
+			r.reply <- verdict{err: err}
+			return
 		}
-	case cancelReq:
-		err = s.eng.CancelJob(r.id)
-		if err == nil {
-			s.cancelled.Add(1)
+		s.accepted.Add(1)
+		if r.key != "" {
+			s.keys[r.key] = r.job.ID
 		}
-	}
-	// Publish the queue/phase change immediately so status reads see
-	// accepted-but-not-yet-admitted jobs.
-	if err == nil {
+		// Publish the queue/phase change immediately so status reads
+		// see accepted-but-not-yet-admitted jobs.
 		s.snap.Store(s.eng.Snapshot())
+		s.commit(walRecord{Type: recSubmit, Key: r.key, Job: r.job}, r.reply, verdict{id: r.job.ID})
+	case cancelReq:
+		if err := s.eng.CancelJob(r.id); err != nil {
+			r.reply <- verdict{err: err}
+			return
+		}
+		s.cancelled.Add(1)
+		s.snap.Store(s.eng.Snapshot())
+		s.commit(walRecord{Type: recCancel, ID: r.id}, r.reply, verdict{id: r.id})
 	}
-	r.reply <- err
 }
 
-// shutdown rejects everything still queued, finalizes the engine, and
-// records the result for Stop.
+// shutdown finalizes the loop. A clean stop drains the queue, flushes
+// deferred group commits, checkpoints, and closes the journal; a Kill
+// or journal failure abandons the journal exactly as a crash would.
 func (s *Service) shutdown() {
+	if s.killed.Load() {
+		// Simulated crash: no drain, no sync, no checkpoint. Waiters
+		// unblock via the stopped channel with ErrStopped.
+		if s.journal != nil {
+			s.journal.Abort()
+		}
+		s.finalErr = ErrKilled
+		return
+	}
 	for {
 		select {
 		case r := <-s.reqs:
-			r.reply <- ErrStopped
+			r.reply <- verdict{err: ErrStopped}
 			continue
 		default:
 		}
 		break
 	}
+	if s.walErr != nil {
+		s.flushGroup(true) // delivers the journal error to deferred verdicts
+		s.journal.Abort()
+		s.finalErr = fmt.Errorf("service: journal failed: %w", s.walErr)
+		return
+	}
+	s.flushGroup(true)
+	if s.journal != nil && s.walErr == nil {
+		// Checkpoint before Finish: Finish finalizes the report for
+		// consumption and the engine must be persisted resumable.
+		s.writeCheckpoint()
+	}
 	// Finish returns the engine's sticky error, if any, so a crashed
 	// loop and a clean shutdown take the same path.
 	s.finalReport, s.finalErr = s.eng.Finish()
 	s.snap.Store(s.eng.Snapshot())
+	if s.journal != nil {
+		if err := s.journal.Close(); err != nil && s.finalErr == nil {
+			s.finalErr = fmt.Errorf("service: close journal: %w", err)
+		}
+	}
 }

@@ -2,6 +2,7 @@ package sim
 
 import (
 	"fmt"
+	"hash/fnv"
 	"math"
 	"sort"
 	"time"
@@ -93,6 +94,7 @@ type Engine struct {
 	round           int
 	stalled         int
 	cancelled       int
+	digest          uint64
 	err             error
 }
 
@@ -380,6 +382,7 @@ func (e *Engine) runRound() error {
 	e.report.DecisionTime += time.Since(start)
 	e.report.Decisions++
 	e.report.Rounds++
+	e.foldDigest(ctx.Round, decisions)
 
 	// Validate the joint decision.
 	activeByID := make(map[int]*sched.JobState, len(e.active))
@@ -620,6 +623,51 @@ func (e *Engine) runRound() error {
 	}
 	return nil
 }
+
+// foldDigest chains this round's canonical decisions into the engine's
+// running schedule digest: an FNV-64a hash of the round index and each
+// allocated job's ID and sorted (node, type, count) placements, chained
+// across rounds so reordering cannot cancel out. The scheme is
+// identical to the golden-digest recorder in determinism_test.go; only
+// integer decision data enters the hash, so the digest is stable across
+// platforms and Go versions as long as the schedule itself is. Recovery
+// uses it as its oracle: a journal replay must reproduce the digest
+// recorded after every round, byte for byte.
+func (e *Engine) foldDigest(round int, decisions map[int]cluster.Alloc) {
+	h := fnv.New64a()
+	write := func(v int) {
+		var b [8]byte
+		u := uint64(v)
+		for i := range b {
+			b[i] = byte(u >> (8 * i))
+		}
+		h.Write(b[:])
+	}
+	write(round)
+	ids := make([]int, 0, len(decisions))
+	for id := range decisions {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		if decisions[id].Workers() == 0 {
+			continue
+		}
+		write(id)
+		for _, p := range decisions[id].Canonical() {
+			write(p.Node)
+			write(int(p.Type))
+			write(p.Count)
+		}
+	}
+	e.digest = e.digest*1099511628211 + h.Sum64()
+}
+
+// Digest returns the chained per-round schedule digest over every
+// scheduling round executed so far (idle fast-forward rounds do not
+// contribute). Two engines that processed identical operation sequences
+// have identical digests.
+func (e *Engine) Digest() uint64 { return e.digest }
 
 // Finish sorts the report and, when the oracle is enabled, validates
 // it against every submitted job. Finish does not stop the engine: more

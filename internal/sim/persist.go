@@ -1,0 +1,289 @@
+package sim
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+
+	"repro/internal/cluster"
+	"repro/internal/gpu"
+	"repro/internal/invariant"
+	"repro/internal/job"
+	"repro/internal/metrics"
+	"repro/internal/sched"
+)
+
+// stateVersion is bumped whenever the serialized engine layout changes
+// incompatibly; RestoreEngine refuses other versions.
+const stateVersion = 1
+
+// optsFingerprint captures the simulation options that shape the
+// schedule itself. A checkpoint taken under one set of physics cannot
+// be resumed under another — the replayed rounds would diverge from the
+// journal's recorded digests — so RestoreEngine requires an exact
+// match. Reporting-only options (Validate, EventLog) may differ freely.
+type optsFingerprint struct {
+	RoundLength         float64   `json:"round_length_s"`
+	UseModelCosts       bool      `json:"use_model_costs"`
+	FlatDelay           float64   `json:"flat_delay_s"`
+	QuantizeCompletions bool      `json:"quantize_completions"`
+	CheckpointContention bool     `json:"checkpoint_contention"`
+	Failures            []Failure `json:"failures,omitempty"`
+}
+
+func fingerprint(o Options) optsFingerprint {
+	return optsFingerprint{
+		RoundLength:          o.RoundLength,
+		UseModelCosts:        o.UseModelCosts,
+		FlatDelay:            o.FlatDelay,
+		QuantizeCompletions:  o.QuantizeCompletions,
+		CheckpointContention: o.CheckpointContention,
+		Failures:             o.Failures,
+	}
+}
+
+func (f optsFingerprint) equal(g optsFingerprint) bool {
+	a, errA := json.Marshal(f)
+	b, errB := json.Marshal(g)
+	return errA == nil && errB == nil && string(a) == string(b)
+}
+
+// activeJobState is the serialized form of one admitted, unfinished
+// job's scheduling state.
+type activeJobState struct {
+	ID        int     `json:"id"`
+	Remaining float64 `json:"remaining_iters"`
+	Attained  float64 `json:"attained_gpu_s"`
+	Rounds    int     `json:"rounds"`
+	// RoundsByType is dense, indexed by gpu.Type; zero entries restore
+	// to an absent map key, matching how the engine builds the map.
+	RoundsByType  []float64     `json:"rounds_by_type"`
+	Alloc         cluster.Alloc `json:"alloc,omitempty"`
+	Started       bool          `json:"started"`
+	StartTime     float64       `json:"start_s"`
+	Reallocations int           `json:"reallocations"`
+}
+
+// queuedEvent is the serialized form of one pending arrival or
+// withdrawal. Events are stored in pop order; re-pushing them in that
+// order onto a fresh queue preserves their relative priority.
+type queuedEvent struct {
+	Time float64 `json:"t"`
+	Kind string  `json:"kind"` // "arrive" or "withdraw"
+	ID   int     `json:"id"`
+}
+
+// engineState is the complete serialized engine: everything needed to
+// resume stepping with byte-identical per-round schedule digests. It is
+// the payload of the service's periodic checkpoints.
+type engineState struct {
+	Version   int             `json:"version"`
+	Scheduler string          `json:"scheduler"`
+	Opts      optsFingerprint `json:"opts"`
+	Now       float64         `json:"now_s"`
+	Round     int             `json:"round"`
+	Stalled   int             `json:"stalled"`
+	Cancelled int             `json:"cancelled"`
+	Digest    uint64          `json:"digest"`
+	// Jobs lists every submitted job in submission order; Phases is the
+	// aligned lifecycle stage of each.
+	Jobs   []*job.Job `json:"jobs"`
+	Phases []JobPhase `json:"phases"`
+	// Active preserves admission order — schedulers see jobs in this
+	// order, so it is part of the schedule-determining state.
+	Active          []activeJobState `json:"active"`
+	Queue           []queuedEvent    `json:"queue"`
+	CancelRequested []int            `json:"cancel_requested,omitempty"`
+	PrevDown        []int            `json:"prev_down,omitempty"`
+	Report          json.RawMessage  `json:"report"`
+}
+
+// MarshalState serializes the engine's full scheduling state for a
+// checkpoint. It must be called from the goroutine driving the engine,
+// between steps, on a healthy engine (a poisoned engine has nothing
+// worth persisting).
+func (e *Engine) MarshalState() ([]byte, error) {
+	if e.err != nil {
+		return nil, fmt.Errorf("sim: cannot checkpoint a failed engine: %w", e.err)
+	}
+	st := engineState{
+		Version:   stateVersion,
+		Scheduler: e.s.Name(),
+		Opts:      fingerprint(e.opts),
+		Now:       e.now,
+		Round:     e.round,
+		Stalled:   e.stalled,
+		Cancelled: e.cancelled,
+		Digest:    e.digest,
+		Jobs:      e.all,
+	}
+	st.Phases = make([]JobPhase, len(e.all))
+	for i, j := range e.all {
+		st.Phases[i] = e.phase[j.ID]
+	}
+	st.Active = make([]activeJobState, 0, len(e.active))
+	for _, a := range e.active {
+		as := activeJobState{
+			ID:            a.Job.ID,
+			Remaining:     a.Remaining,
+			Attained:      a.Attained,
+			Rounds:        a.Rounds,
+			RoundsByType:  make([]float64, gpu.NumTypes),
+			Alloc:         a.Alloc,
+			Started:       a.Started,
+			StartTime:     a.StartTime,
+			Reallocations: a.Reallocations,
+		}
+		for t := gpu.Type(0); t < gpu.NumTypes; t++ {
+			as.RoundsByType[t] = a.RoundsByType[t]
+		}
+		st.Active = append(st.Active, as)
+	}
+	for _, ev := range e.queue.Snapshot() {
+		switch p := ev.Payload.(type) {
+		case arriveEvent:
+			st.Queue = append(st.Queue, queuedEvent{Time: ev.Time, Kind: "arrive", ID: p.st.Job.ID})
+		case withdrawEvent:
+			st.Queue = append(st.Queue, queuedEvent{Time: ev.Time, Kind: "withdraw", ID: p.id})
+		default:
+			return nil, fmt.Errorf("sim: unknown queued event payload %T", ev.Payload)
+		}
+	}
+	st.CancelRequested = sortedIntKeys(e.cancelRequested)
+	st.PrevDown = sortedIntKeys(e.prevDown)
+	report, err := json.Marshal(e.report)
+	if err != nil {
+		return nil, fmt.Errorf("sim: marshal report: %w", err)
+	}
+	st.Report = report
+	data, err := json.Marshal(&st)
+	if err != nil {
+		return nil, fmt.Errorf("sim: marshal state: %w", err)
+	}
+	return data, nil
+}
+
+func sortedIntKeys(m map[int]bool) []int {
+	out := make([]int, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// RestoreEngine rebuilds an engine from MarshalState output: same
+// cluster, a fresh scheduler of the same policy, and options whose
+// schedule-shaping fields match the checkpoint's. The restored engine
+// continues exactly where the checkpointed one stopped — same clock,
+// same admission order, same pending events, same chained digest — so
+// replaying the journal tail after it reproduces the original run's
+// per-round digests. Every scheduler in the repository derives its
+// decisions from the per-round Context and the JobStates restored here
+// (cross-round scheduler fields are caches or reporting), which is what
+// makes a fresh scheduler instance safe.
+func RestoreEngine(c *cluster.Cluster, s sched.Scheduler, opts Options, data []byte) (*Engine, error) {
+	var st engineState
+	if err := json.Unmarshal(data, &st); err != nil {
+		return nil, fmt.Errorf("sim: restore: %w", err)
+	}
+	if st.Version != stateVersion {
+		return nil, fmt.Errorf("sim: restore: state version %d, this binary speaks %d", st.Version, stateVersion)
+	}
+	if st.Scheduler != s.Name() {
+		return nil, fmt.Errorf("sim: restore: checkpoint is for scheduler %q, got %q", st.Scheduler, s.Name())
+	}
+	e, err := NewEngine(c, s, opts)
+	if err != nil {
+		return nil, err
+	}
+	if fp := fingerprint(e.opts); !fp.equal(st.Opts) {
+		return nil, fmt.Errorf("sim: restore: simulation options changed since checkpoint (have %+v, checkpoint %+v)", fp, st.Opts)
+	}
+	if len(st.Phases) != len(st.Jobs) {
+		return nil, fmt.Errorf("sim: restore: %d phases for %d jobs", len(st.Phases), len(st.Jobs))
+	}
+
+	e.now = st.Now
+	e.round = st.Round
+	e.stalled = st.Stalled
+	e.cancelled = st.Cancelled
+	e.digest = st.Digest
+
+	byID := make(map[int]*job.Job, len(st.Jobs))
+	for i, j := range st.Jobs {
+		if j == nil {
+			return nil, fmt.Errorf("sim: restore: nil job at index %d", i)
+		}
+		if _, dup := byID[j.ID]; dup {
+			return nil, fmt.Errorf("sim: restore: duplicate job ID %d", j.ID)
+		}
+		byID[j.ID] = j
+		e.all = append(e.all, j)
+		e.phase[j.ID] = st.Phases[i]
+	}
+	for _, as := range st.Active {
+		j, ok := byID[as.ID]
+		if !ok {
+			return nil, fmt.Errorf("sim: restore: active job %d not in job list", as.ID)
+		}
+		js := &sched.JobState{
+			Job:           j,
+			Remaining:     as.Remaining,
+			Attained:      as.Attained,
+			Rounds:        as.Rounds,
+			RoundsByType:  make(map[gpu.Type]float64),
+			Alloc:         as.Alloc,
+			Started:       as.Started,
+			StartTime:     as.StartTime,
+			Reallocations: as.Reallocations,
+		}
+		for t, v := range as.RoundsByType {
+			if v > 0 {
+				js.RoundsByType[gpu.Type(t)] = v
+			}
+		}
+		e.active = append(e.active, js)
+	}
+	for _, ev := range st.Queue {
+		switch ev.Kind {
+		case "arrive":
+			j, ok := byID[ev.ID]
+			if !ok {
+				return nil, fmt.Errorf("sim: restore: queued arrival for unknown job %d", ev.ID)
+			}
+			e.queue.Push(ev.Time, arriveEvent{st: &sched.JobState{
+				Job:          j,
+				Remaining:    j.TotalIters(),
+				RoundsByType: make(map[gpu.Type]float64),
+			}})
+			e.pendingArrivals++
+		case "withdraw":
+			e.queue.Push(ev.Time, withdrawEvent{id: ev.ID})
+		default:
+			return nil, fmt.Errorf("sim: restore: unknown queued event kind %q", ev.Kind)
+		}
+	}
+	for _, id := range st.CancelRequested {
+		e.cancelRequested[id] = true
+	}
+	for _, n := range st.PrevDown {
+		e.prevDown[n] = true
+	}
+	report := &metrics.Report{}
+	if err := json.Unmarshal(st.Report, report); err != nil {
+		return nil, fmt.Errorf("sim: restore report: %w", err)
+	}
+	if report.TotalGPUs != c.TotalGPUs() {
+		return nil, fmt.Errorf("sim: restore: checkpoint cluster has %d GPUs, this cluster %d",
+			report.TotalGPUs, c.TotalGPUs())
+	}
+	e.report = report
+	// A fresh invariant checker (when Validate is on) picks up at the
+	// next round; per-round checks are self-contained and the final
+	// report check runs against the restored report and job list.
+	if opts.Validate {
+		e.chk = invariant.NewChecker(c)
+	}
+	return e, nil
+}

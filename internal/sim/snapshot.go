@@ -51,6 +51,10 @@ type Snapshot struct {
 	Active    []JobSnapshot `json:"active"`
 	Completed int           `json:"completed"`
 	Cancelled int           `json:"cancelled"`
+	// Digest is the engine's chained per-round schedule digest (see
+	// Engine.Digest); the crash-recovery chaos harness compares it
+	// against an uninterrupted replay of the journal.
+	Digest uint64 `json:"digest"`
 	// Phases maps every submitted job ID to its lifecycle stage
 	// ("pending", "active", "finished", "cancelled"), so status queries
 	// resolve against the snapshot instead of the engine.
@@ -75,6 +79,7 @@ func (e *Engine) Snapshot() *Snapshot {
 		Pending:   e.pendingArrivals,
 		Completed: len(e.report.Jobs),
 		Cancelled: e.cancelled,
+		Digest:    e.digest,
 		Report:    e.report.Clone(),
 	}
 	if n := len(e.report.RoundHeld); n > 0 {

@@ -1,0 +1,419 @@
+// Package wal implements the write-ahead journal the scheduler service
+// persists accepted mutations to, plus the CRC-protected checkpoint
+// files that bound replay length.
+//
+// The journal is a single append-only file: an 8-byte magic header
+// followed by frames of the form
+//
+//	[length uint32 LE][crc32(IEEE) of payload uint32 LE][payload]
+//
+// Appends happen with one write(2) per frame, so after a process kill
+// (SIGKILL, panic, OOM) the file holds a prefix of whole frames plus at
+// most one torn frame. Scan tolerates exactly that failure mode: it
+// reads frames until the first torn or corrupt one, reports the valid
+// prefix length, and the recovering writer truncates the tail before
+// appending again. Losing page cache to a machine crash additionally
+// requires fsync; the Writer's SyncPolicy chooses how eagerly to pay
+// for that.
+//
+// The package knows nothing about record semantics — payloads are
+// opaque bytes. internal/service defines the submit/cancel/round record
+// encoding on top.
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// magic identifies a journal file (version suffix 1).
+var magic = [8]byte{'H', 'D', 'R', 'W', 'A', 'L', '0', '1'}
+
+// ckptMagic identifies a checkpoint file.
+var ckptMagic = [8]byte{'H', 'D', 'R', 'C', 'K', 'P', '0', '1'}
+
+const (
+	headerSize = 8
+	frameHead  = 8 // u32 length + u32 crc
+	// MaxRecord bounds a single record payload; a length field beyond it
+	// is treated as a torn frame rather than an allocation request.
+	MaxRecord = 16 << 20
+)
+
+// ErrNotJournal reports a file that exists, is long enough to carry a
+// header, and does not start with the journal magic — almost certainly
+// an operator error (wrong path), never a torn write.
+var ErrNotJournal = errors.New("wal: file is not a journal (bad magic)")
+
+// ErrCorrupt reports a checkpoint file that failed its integrity check.
+var ErrCorrupt = errors.New("wal: corrupt checkpoint")
+
+// ErrCrashInjected is returned by Append when the configured FailPoint
+// cut the write short: the process is simulating a mid-append crash and
+// must not journal anything further.
+var ErrCrashInjected = errors.New("wal: injected crash during append")
+
+// SyncPolicy selects when appended frames are fsynced to stable
+// storage.
+type SyncPolicy int
+
+const (
+	// SyncAlways fsyncs before every Append returns: an acknowledged
+	// record survives machine crashes, at one fsync per record.
+	SyncAlways SyncPolicy = iota
+	// SyncGroup leaves fsync to the caller's group-commit loop (Sync is
+	// called for a batch of records at once); acknowledgements are
+	// expected to wait for the batch sync.
+	SyncGroup
+	// SyncOff never fsyncs: records reach the file with write(2) and
+	// survive process kills, but a machine crash can lose the page
+	// cache tail.
+	SyncOff
+)
+
+// String names the policy (flag value form).
+func (p SyncPolicy) String() string {
+	switch p {
+	case SyncAlways:
+		return "always"
+	case SyncGroup:
+		return "group"
+	case SyncOff:
+		return "off"
+	}
+	return fmt.Sprintf("SyncPolicy(%d)", int(p))
+}
+
+// ParsePolicy converts a flag value to a SyncPolicy.
+func ParsePolicy(s string) (SyncPolicy, error) {
+	switch s {
+	case "always":
+		return SyncAlways, nil
+	case "group":
+		return SyncGroup, nil
+	case "off":
+		return SyncOff, nil
+	}
+	return 0, fmt.Errorf("wal: unknown fsync policy %q (want always, group, or off)", s)
+}
+
+// FailPoint simulates a crash mid-append for chaos testing. Before each
+// frame write it receives the file offset the frame would start at and
+// the full frame bytes; returning keep >= 0 writes only the first keep
+// bytes of the frame (a torn write) and makes Append return
+// ErrCrashInjected. Returning keep < 0 lets the write proceed normally.
+type FailPoint func(offset int64, frame []byte) (keep int)
+
+// ScanResult describes the valid contents of a journal file.
+type ScanResult struct {
+	// Records holds every intact payload in append order.
+	Records [][]byte
+	// ValidSize is the byte length of the valid prefix (header plus
+	// whole frames); a recovering writer truncates the file here.
+	ValidSize int64
+	// TruncatedBytes counts bytes past the valid prefix — a torn or
+	// corrupt tail frame. Zero on a cleanly closed journal.
+	TruncatedBytes int64
+	// Existed reports whether the file was present at all.
+	Existed bool
+}
+
+// Scan reads a journal, tolerating a torn or corrupt final frame: it
+// returns every record in the valid prefix and where that prefix ends.
+// A missing file or one killed before the header finished scans as an
+// empty journal. A present file with a wrong magic fails with
+// ErrNotJournal — that is a misconfiguration, not a crash artifact.
+func Scan(path string) (*ScanResult, error) {
+	res := &ScanResult{}
+	f, err := os.Open(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return res, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	defer f.Close()
+	res.Existed = true
+
+	info, err := f.Stat()
+	if err != nil {
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	size := info.Size()
+	if size < headerSize {
+		// Killed between create and header write: everything is tail.
+		res.TruncatedBytes = size
+		return res, nil
+	}
+	var hdr [headerSize]byte
+	if _, err := io.ReadFull(f, hdr[:]); err != nil {
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	if hdr != magic {
+		return nil, fmt.Errorf("%w: %s", ErrNotJournal, path)
+	}
+	res.ValidSize = headerSize
+
+	var fh [frameHead]byte
+	for {
+		remaining := size - res.ValidSize
+		if remaining == 0 {
+			return res, nil
+		}
+		if remaining < frameHead {
+			break // torn frame header
+		}
+		if _, err := io.ReadFull(f, fh[:]); err != nil {
+			return nil, fmt.Errorf("wal: %w", err)
+		}
+		length := int64(binary.LittleEndian.Uint32(fh[0:4]))
+		sum := binary.LittleEndian.Uint32(fh[4:8])
+		if length > MaxRecord || length > remaining-frameHead {
+			break // implausible or past EOF: torn length/payload
+		}
+		payload := make([]byte, length)
+		if _, err := io.ReadFull(f, payload); err != nil {
+			return nil, fmt.Errorf("wal: %w", err)
+		}
+		if crc32.ChecksumIEEE(payload) != sum {
+			break // corrupt tail frame
+		}
+		res.Records = append(res.Records, payload)
+		res.ValidSize += frameHead + length
+	}
+	res.TruncatedBytes = size - res.ValidSize
+	return res, nil
+}
+
+// Writer appends CRC-framed records to a journal file. It is not safe
+// for concurrent use; the scheduler service confines it to the engine
+// goroutine.
+type Writer struct {
+	f         *os.File
+	off       int64
+	unsynced  bool
+	policy    SyncPolicy
+	failPoint FailPoint
+	crashed   bool
+	buf       []byte
+}
+
+// Create makes a fresh journal at path (truncating anything there),
+// writes the header, and syncs it along with the containing directory
+// so the file itself survives a crash.
+func Create(path string, policy SyncPolicy, fp FailPoint) (*Writer, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	if _, err := f.Write(magic[:]); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	if err := syncDir(filepath.Dir(path)); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return &Writer{f: f, off: headerSize, policy: policy, failPoint: fp}, nil
+}
+
+// OpenAppend reopens an existing journal for appending after recovery:
+// it truncates the file to validSize (dropping any torn tail Scan
+// found) and positions the writer at the end. validSize comes from
+// Scan; passing 0 for a file that never got its header rebuilds it.
+func OpenAppend(path string, validSize int64, policy SyncPolicy, fp FailPoint) (*Writer, error) {
+	if validSize < headerSize {
+		return Create(path, policy, fp)
+	}
+	f, err := os.OpenFile(path, os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	if err := f.Truncate(validSize); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	if _, err := f.Seek(validSize, io.SeekStart); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	return &Writer{f: f, off: validSize, policy: policy, failPoint: fp}, nil
+}
+
+// Append frames the payload and writes it with a single write call.
+// Under SyncAlways it also fsyncs before returning, so a nil result
+// means the record is on stable storage. If the configured FailPoint
+// fires, only part of the frame reaches the file and Append returns
+// ErrCrashInjected.
+func (w *Writer) Append(payload []byte) error {
+	if w.crashed {
+		return ErrCrashInjected
+	}
+	if len(payload) > MaxRecord {
+		return fmt.Errorf("wal: record of %d bytes exceeds MaxRecord", len(payload))
+	}
+	w.buf = w.buf[:0]
+	var fh [frameHead]byte
+	binary.LittleEndian.PutUint32(fh[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(fh[4:8], crc32.ChecksumIEEE(payload))
+	w.buf = append(w.buf, fh[:]...)
+	w.buf = append(w.buf, payload...)
+
+	frame := w.buf
+	if w.failPoint != nil {
+		if keep := w.failPoint(w.off, frame); keep >= 0 {
+			if keep > len(frame) {
+				keep = len(frame)
+			}
+			w.crashed = true
+			if keep > 0 {
+				n, _ := w.f.Write(frame[:keep])
+				w.off += int64(n)
+			}
+			return ErrCrashInjected
+		}
+	}
+	n, err := w.f.Write(frame)
+	w.off += int64(n)
+	if err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	w.unsynced = true
+	if w.policy == SyncAlways {
+		return w.Sync()
+	}
+	return nil
+}
+
+// Sync flushes appended frames to stable storage. A no-op when nothing
+// is pending or the policy is SyncOff.
+func (w *Writer) Sync() error {
+	if !w.unsynced || w.policy == SyncOff || w.crashed {
+		return nil
+	}
+	if err := w.f.Sync(); err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	w.unsynced = false
+	return nil
+}
+
+// Size is the current journal length in bytes.
+func (w *Writer) Size() int64 { return w.off }
+
+// Policy reports the writer's sync policy.
+func (w *Writer) Policy() SyncPolicy { return w.policy }
+
+// Close syncs (regardless of policy, so a graceful shutdown is always
+// durable) and closes the file.
+func (w *Writer) Close() error {
+	if w.crashed {
+		return w.f.Close()
+	}
+	if err := w.f.Sync(); err != nil {
+		w.f.Close()
+		return fmt.Errorf("wal: %w", err)
+	}
+	return w.f.Close()
+}
+
+// Abort closes the file descriptor without syncing — the crash-path
+// counterpart of Close, used when simulating a kill in-process.
+func (w *Writer) Abort() {
+	w.f.Close()
+}
+
+// WriteCheckpoint atomically replaces the checkpoint at path: the
+// CRC-framed payload is written to a temporary file, synced, and
+// renamed over the target, then the directory is synced. A crash at
+// any point leaves either the old checkpoint or the new one, never a
+// torn mixture.
+func WriteCheckpoint(path string, payload []byte) error {
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	var fh [headerSize + frameHead]byte
+	copy(fh[:headerSize], ckptMagic[:])
+	binary.LittleEndian.PutUint32(fh[headerSize:headerSize+4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(fh[headerSize+4:], crc32.ChecksumIEEE(payload))
+	if _, err := f.Write(fh[:]); err == nil {
+		_, err = f.Write(payload)
+	}
+	if err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("wal: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("wal: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("wal: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("wal: %w", err)
+	}
+	return syncDir(filepath.Dir(path))
+}
+
+// ReadCheckpoint loads and verifies a checkpoint written by
+// WriteCheckpoint. A missing file returns os.ErrNotExist; any framing
+// or CRC failure returns an error wrapping ErrCorrupt, which recovery
+// treats as "no usable checkpoint" and falls back to full replay.
+func ReadCheckpoint(path string) ([]byte, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if len(data) < headerSize+frameHead {
+		return nil, fmt.Errorf("%w: %s: short file (%d bytes)", ErrCorrupt, path, len(data))
+	}
+	var m [headerSize]byte
+	copy(m[:], data[:headerSize])
+	if m != ckptMagic {
+		return nil, fmt.Errorf("%w: %s: bad magic", ErrCorrupt, path)
+	}
+	length := int(binary.LittleEndian.Uint32(data[headerSize : headerSize+4]))
+	sum := binary.LittleEndian.Uint32(data[headerSize+4 : headerSize+frameHead])
+	payload := data[headerSize+frameHead:]
+	if length != len(payload) {
+		return nil, fmt.Errorf("%w: %s: length %d but %d payload bytes", ErrCorrupt, path, length, len(payload))
+	}
+	if crc32.ChecksumIEEE(payload) != sum {
+		return nil, fmt.Errorf("%w: %s: checksum mismatch", ErrCorrupt, path)
+	}
+	return payload, nil
+}
+
+// syncDir fsyncs a directory so a just-created or just-renamed file's
+// directory entry is durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		return fmt.Errorf("wal: sync %s: %w", dir, err)
+	}
+	return nil
+}

@@ -49,6 +49,7 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 // (validation, duplicate ID, unknown job) 400/404/409 per endpoint.
 func writeError(w http.ResponseWriter, err error, fallback int) {
 	var busy *service.BusyError
+	var dead *service.DeadError
 	switch {
 	case errors.As(err, &busy):
 		secs := int(busy.RetryAfter / time.Second)
@@ -57,6 +58,11 @@ func writeError(w http.ResponseWriter, err error, fallback int) {
 		}
 		w.Header().Set("Retry-After", strconv.Itoa(secs))
 		writeJSON(w, http.StatusTooManyRequests, map[string]string{"error": err.Error()})
+	case errors.As(err, &dead):
+		// The engine loop missed the verdict deadline: the request may
+		// or may not have been applied, so the client should retry with
+		// an idempotency key.
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"error": err.Error()})
 	case errors.Is(err, service.ErrStopped):
 		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"error": err.Error()})
 	default:
@@ -81,9 +87,13 @@ func (a *liveAPI) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 // submitSpec is the POST /api/jobs body. The job is built from the
 // workload catalog: Model selects the Table II entry, GPUHours the
 // aggregate demand, Workers the gang size. ID is optional; omitted IDs
-// are assigned from the service's range.
+// are assigned from the service's range. Key is an optional
+// idempotency key: retrying a submission with the same key — after a
+// timeout, a 5xx, or a scheduler restart — returns the original job's
+// ID instead of admitting a duplicate.
 type submitSpec struct {
 	ID       *int    `json:"id"`
+	Key      string  `json:"key"`
 	Model    string  `json:"model"`
 	Workers  int     `json:"workers"`
 	GPUHours float64 `json:"gpu_hours"`
@@ -120,6 +130,21 @@ func (a *liveAPI) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	j, err := trace.FromDemand(id, model, spec.Workers, spec.GPUHours, 0)
 	if err != nil {
 		writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+		return
+	}
+	if spec.Key != "" {
+		gotID, deduped, err := a.svc.SubmitKeyed(spec.Key, j)
+		if err != nil {
+			writeError(w, err, http.StatusConflict)
+			return
+		}
+		status := http.StatusAccepted
+		if deduped {
+			// The key was already accepted (possibly before a crash);
+			// report the original admission rather than a new one.
+			status = http.StatusOK
+		}
+		writeJSON(w, status, map[string]any{"id": gotID, "name": j.Name, "deduped": deduped})
 		return
 	}
 	if err := a.svc.Submit(j); err != nil {

@@ -178,3 +178,89 @@ func TestLiveSnapshotAndSummary(t *testing.T) {
 }
 
 func itoa(n int) string { return strconv.Itoa(n) }
+
+// TestLiveSubmitIdempotencyKey: posting the same key twice admits one
+// job and answers the retry with the original ID.
+func TestLiveSubmitIdempotencyKey(t *testing.T) {
+	svc, ts := newLiveFixture(t)
+	body := `{"key": "retry-me", "model": "ResNet-50", "workers": 1, "gpu_hours": 50000}`
+
+	resp, out := postJSON(t, ts.URL+"/api/jobs", body)
+	if resp.StatusCode != http.StatusAccepted || out["deduped"] != false {
+		t.Fatalf("first keyed submit status = %d, body %v", resp.StatusCode, out)
+	}
+	id := int(out["id"].(float64))
+
+	resp, out = postJSON(t, ts.URL+"/api/jobs", body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("retried keyed submit status = %d, want 200; body %v", resp.StatusCode, out)
+	}
+	if out["deduped"] != true || int(out["id"].(float64)) != id {
+		t.Errorf("retry body = %v, want deduped=true id=%d", out, id)
+	}
+	if got := svc.Stats(); got.Accepted != 1 || got.Deduped != 1 {
+		t.Errorf("stats = %+v, want 1 accepted + 1 deduped", got)
+	}
+}
+
+// TestLiveBusyMapsTo429WithRetryAfter fills the admission queue of an
+// unstarted service and checks backpressure surfaces as HTTP 429 with
+// a parseable Retry-After header.
+func TestLiveBusyMapsTo429WithRetryAfter(t *testing.T) {
+	svc, err := service.New(experiments.SimCluster(), policy.New(policy.SRTF, true), service.Options{
+		Sim:            sim.ValidatedOptions(),
+		QueueDepth:     1,
+		RetryAfter:     3 * time.Second,
+		RequestTimeout: 50 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(NewLiveServer(svc).Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		svc.Stop()
+	})
+
+	// The service is never started, so the first submit occupies the
+	// queue's only slot, times out its verdict wait (503), and stays
+	// parked in the channel. The next submit then overflows.
+	resp, out := postJSON(t, ts.URL+"/api/jobs", `{"model": "LSTM", "workers": 1, "gpu_hours": 1}`)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("queue-filling submit status = %d, body %v; want 503", resp.StatusCode, out)
+	}
+	resp, out = postJSON(t, ts.URL+"/api/jobs", `{"model": "LSTM", "workers": 1, "gpu_hours": 1}`)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("overflow submit status = %d, body %v; want 429", resp.StatusCode, out)
+	}
+	ra := resp.Header.Get("Retry-After")
+	secs, err := strconv.Atoi(ra)
+	if err != nil || secs < 1 {
+		t.Errorf("Retry-After = %q, want an integer >= 1", ra)
+	}
+	if secs != 3 {
+		t.Errorf("Retry-After = %d, want the service's 3s hint", secs)
+	}
+}
+
+// TestLiveDeadVerdictMapsTo503: a verdict timeout (wedged engine loop)
+// is a retriable server-side failure, not a client error.
+func TestLiveDeadVerdictMapsTo503(t *testing.T) {
+	svc, err := service.New(experiments.SimCluster(), policy.New(policy.SRTF, true), service.Options{
+		Sim:            sim.ValidatedOptions(),
+		RequestTimeout: 30 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(NewLiveServer(svc).Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		svc.Stop()
+	})
+	// Never started: the submit parks until RequestTimeout expires.
+	resp, out := postJSON(t, ts.URL+"/api/jobs", `{"model": "LSTM", "workers": 1, "gpu_hours": 1}`)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("dead verdict status = %d, body %v; want 503", resp.StatusCode, out)
+	}
+}
