@@ -10,7 +10,7 @@
 
 GO ?= go
 
-.PHONY: check build vet lint test race stress bench-smoke bench service-smoke experiments chaos crash-smoke crash-chaos fuzz-smoke cover
+.PHONY: check build vet lint test race stress bench-smoke bench profile service-smoke experiments chaos crash-smoke crash-chaos fuzz-smoke cover
 
 check: build vet lint test cover
 
@@ -41,18 +41,41 @@ race:
 stress:
 	$(GO) test -race -count=5 ./internal/rpccluster
 
-# bench-smoke runs each allocation-state microbenchmark once: a fast
-# regression canary that the hot path still runs, not a measurement.
+# bench-smoke runs the allocation-state microbenchmarks and the small
+# (60/250-node) scalability points once each, then gates the result:
+# benchjson fails if any required op is missing from the output or if
+# the DP round regressed more than 25% in ns/op against the committed
+# BENCH_sim.json baseline. A canary that the hot path still runs at its
+# recorded speed, not a measurement.
 bench-smoke:
-	$(GO) test -run='^$$' -bench='BenchmarkDPAllocate|BenchmarkGreedyAllocate' -benchtime=1x -benchmem .
+	$(GO) test -run='^$$' \
+		-bench='BenchmarkGreedyAllocate$$|BenchmarkScaleRound/(prop|fixed)/nodes=(60|250)$$' \
+		-benchtime=1x -benchmem -short . \
+		| $(GO) run ./cmd/benchjson -o /tmp/bench-smoke.json \
+			-require 'GreedyAllocate,ScaleRound/prop/nodes=60,ScaleRound/prop/nodes=250,ScaleRound/fixed/nodes=60,ScaleRound/fixed/nodes=250'
+	$(GO) test -run='^$$' -bench='BenchmarkDPAllocate$$' -benchtime=200x -benchmem . \
+		| $(GO) run ./cmd/benchjson -o /tmp/bench-smoke-dp.json \
+			-require DPAllocate -baseline BENCH_sim.json -regress-op DPAllocate -regress-pct 25
 
 # bench takes real measurements of the scheduling hot path — the DP
-# round, the greedy round, the full 480-job simulation, and a single
-# engine step — and records them as BENCH_sim.json (op, ns/op,
-# allocs/op) via cmd/benchjson for machine comparison across commits.
+# round, the greedy round, the full 480-job simulation, a single engine
+# step, and the node-count scalability sweep (60/250/1k/5k nodes,
+# proportional and fixed-backlog job series) — and records them as
+# BENCH_sim.json (op, ns/op, allocs/op) via cmd/benchjson for machine
+# comparison across commits. The ScaleRound points are also merged into
+# results/fig7_scalability.csv alongside the exporter's jobs-sweep
+# series.
 bench:
-	$(GO) test -run='^$$' -bench='BenchmarkDPAllocate|BenchmarkGreedyAllocate|BenchmarkSimulate480Jobs|BenchmarkEngineStep' -benchmem . \
-		| $(GO) run ./cmd/benchjson -o BENCH_sim.json
+	$(GO) test -run='^$$' -bench='BenchmarkDPAllocate$$|BenchmarkGreedyAllocate$$|BenchmarkSimulate480Jobs$$|BenchmarkEngineStep$$|BenchmarkScaleRound' -benchmem . \
+		| $(GO) run ./cmd/benchjson -o BENCH_sim.json -scale-csv results/fig7_scalability.csv
+
+# profile captures CPU, heap, and execution-trace profiles of a
+# paper-scale hadarsim run into profiles/ for go tool pprof / trace.
+profile:
+	mkdir -p profiles
+	$(GO) run ./cmd/hadarsim -jobs 480 \
+		-cpuprofile profiles/cpu.out -memprofile profiles/mem.out -exectrace profiles/trace.out
+	@echo "profiles written: go tool pprof profiles/cpu.out | go tool trace profiles/trace.out"
 
 # service-smoke boots the long-lived scheduler service (cmd/hadard) in
 # smoke mode under the race detector: loadgen drives a seeded bursty

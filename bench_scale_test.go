@@ -1,0 +1,86 @@
+package repro
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/sched"
+)
+
+// scaleRoundPoints is the node-count sweep of the scalability suite: 60
+// nodes is roughly the paper's testbed scale, 5000 a large production
+// cluster. Each point carries two workload series: "prop" grows the
+// pending queue with the cluster (a loaded cluster stays loaded as it
+// grows), "fixed" holds the paper's 480-job backlog constant so the
+// node-count term of the round cost is isolated.
+var scaleRoundPoints = []struct {
+	nodes int
+	// large marks points skipped under -short / bench-smoke: a 1k- or
+	// 5k-node round is seconds of setup, not smoke-test material.
+	large bool
+}{
+	{nodes: 60},
+	{nodes: 250},
+	{nodes: 1000, large: true},
+	{nodes: 5000, large: true},
+}
+
+// scaleJobsPerNode is the proportional series' load factor: 2 pending
+// jobs per node keeps every cluster size oversubscribed (4 GPUs per
+// node, multi-worker gangs) without making the 5000-node setup
+// intractable.
+const scaleJobsPerNode = 2
+
+// scaleFixedJobs is the fixed-backlog series' queue length — the
+// paper's full trace size.
+const scaleFixedJobs = 480
+
+// benchScaleContext builds a single-round context with `jobs` pending
+// jobs over a `nodes`-node cluster of the paper's type mix.
+func benchScaleContext(b *testing.B, nodes, jobs int) *sched.Context {
+	b.Helper()
+	ctx := benchSchedContext(b, jobs)
+	ctx.Cluster = experiments.ScaleCluster(nodes)
+	return ctx
+}
+
+// BenchmarkScaleRound measures one full Hadar scheduling round (queue
+// ordering, price table, DP or greedy allocation, backfill) as the
+// cluster grows from testbed to production scale. ns/op is the round
+// latency; the nodes/gpus/jobs metrics let cmd/benchjson -scale-csv
+// assemble results/fig7_scalability.csv without re-parsing benchmark
+// names.
+func BenchmarkScaleRound(b *testing.B) {
+	run := func(b *testing.B, nodes, jobs int) {
+		ctx := benchScaleContext(b, nodes, jobs)
+		s := core.New(core.DefaultOptions())
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			s.Schedule(ctx)
+		}
+		b.ReportMetric(float64(nodes), "nodes")
+		b.ReportMetric(float64(ctx.Cluster.TotalGPUs()), "gpus")
+		b.ReportMetric(float64(jobs), "jobs")
+	}
+	for _, p := range scaleRoundPoints {
+		p := p
+		b.Run(fmt.Sprintf("prop/nodes=%d", p.nodes), func(b *testing.B) {
+			if p.large && testing.Short() {
+				b.Skip("large-cluster point skipped under -short")
+			}
+			run(b, p.nodes, p.nodes*scaleJobsPerNode)
+		})
+	}
+	for _, p := range scaleRoundPoints {
+		p := p
+		b.Run(fmt.Sprintf("fixed/nodes=%d", p.nodes), func(b *testing.B) {
+			if p.large && testing.Short() {
+				b.Skip("large-cluster point skipped under -short")
+			}
+			run(b, p.nodes, scaleFixedJobs)
+		})
+	}
+}

@@ -7,23 +7,34 @@
 //	         [-seed 1] [-pattern static|poisson] [-rate 0.02]
 //	         [-round 6] [-model-costs] [-trace trace.json] [-cdf]
 //	         [-fail node:start:end]...
+//	         [-cpuprofile cpu.out] [-memprofile mem.out] [-exectrace trace.out]
 //
 // Schedulers: hadar, hadar-makespan, gavel, tiresias, yarn-cs.
 // With -trace, jobs are loaded from a tracegen JSON file instead of
 // being synthesized. Each -fail injects one machine outage window
 // (seconds); the flag repeats for multiple outages.
+//
+// The profiling flags capture the simulation loop only (setup and
+// report printing excluded): -cpuprofile and -memprofile write pprof
+// profiles, -exectrace writes a runtime execution trace for
+// `go tool trace` (named -exectrace because -trace is the job-trace
+// input). `make profile` wires them to a paper-scale run.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
+	rtrace "runtime/trace"
 	"strconv"
 	"strings"
 
 	"repro/internal/allox"
 	"repro/internal/experiments"
 	"repro/internal/job"
+	"repro/internal/metrics"
 	"repro/internal/policy"
 	"repro/internal/sched"
 	"repro/internal/sim"
@@ -62,6 +73,48 @@ func (f *failList) Set(s string) error {
 	return nil
 }
 
+// runProfiled brackets fn with whichever profilers were requested: CPU
+// profile and execution trace around the run, heap profile (after a
+// forced GC, so it shows live retention rather than garbage) once it
+// finishes. Empty file names disable the corresponding profiler.
+func runProfiled(cpu, mem, trc string, fn func() (*metrics.Report, error)) (*metrics.Report, error) {
+	if cpu != "" {
+		f, err := os.Create(cpu)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return nil, err
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if trc != "" {
+		f, err := os.Create(trc)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		if err := rtrace.Start(f); err != nil {
+			return nil, err
+		}
+		defer rtrace.Stop()
+	}
+	r, err := fn()
+	if err == nil && mem != "" {
+		f, ferr := os.Create(mem)
+		if ferr != nil {
+			return nil, ferr
+		}
+		defer f.Close()
+		runtime.GC()
+		if werr := pprof.WriteHeapProfile(f); werr != nil {
+			return nil, werr
+		}
+	}
+	return r, err
+}
+
 func main() {
 	var (
 		schedName  = flag.String("scheduler", "hadar", "scheduler: hadar, hadar-makespan, gavel, tiresias, yarn-cs, allox, ref-fifo, ref-srtf")
@@ -75,6 +128,9 @@ func main() {
 		traceFile  = flag.String("trace", "", "load jobs from a tracegen JSON file")
 		showCDF    = flag.Bool("cdf", false, "print the completion CDF")
 		eventsFile = flag.String("events", "", "write a JSONL simulation event log to this file")
+		cpuProf    = flag.String("cpuprofile", "", "write a CPU profile of the simulation to this file")
+		memProf    = flag.String("memprofile", "", "write a post-simulation heap profile to this file")
+		execTrace  = flag.String("exectrace", "", "write a runtime execution trace of the simulation to this file")
 	)
 	var fails failList
 	flag.Var(&fails, "fail", "inject a node outage node:start:end in seconds (repeatable)")
@@ -146,7 +202,9 @@ func main() {
 		defer f.Close()
 		opts.EventLog = f
 	}
-	report, err := sim.Run(c, jobs, s, opts)
+	report, err := runProfiled(*cpuProf, *memProf, *execTrace, func() (*metrics.Report, error) {
+		return sim.Run(c, jobs, s, opts)
+	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "hadarsim: %v\n", err)
 		os.Exit(1)

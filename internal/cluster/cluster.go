@@ -93,6 +93,19 @@ func (c *Cluster) SetSpeed(id int, speed float64) {
 // Speed returns node id's straggler factor.
 func (c *Cluster) Speed(id int) float64 { return c.nodes[id].Speed }
 
+// UniformSpeed reports whether every node runs at the same straggler
+// factor — the common case, since New normalizes speeds to 1.0 and only
+// the straggler experiments change them. Placement code uses it to pick
+// scan orders that need no per-node speed tiebreak.
+func (c *Cluster) UniformSpeed() bool {
+	for _, n := range c.nodes[1:] {
+		if n.Speed < c.nodes[0].Speed || n.Speed > c.nodes[0].Speed {
+			return false
+		}
+	}
+	return true
+}
+
 // Capacity returns c_h^r for node id and type t.
 func (c *Cluster) Capacity(id int, t gpu.Type) int {
 	return c.nodes[id].Capacity.Count(t)

@@ -2,6 +2,7 @@ package cluster
 
 import (
 	"fmt"
+	"math/bits"
 	"strings"
 
 	"repro/internal/bug"
@@ -33,6 +34,28 @@ type State struct {
 	total  int
 	hash   uint64
 
+	// ver counts every mutation of a cell, in both directions: apply and
+	// undo each bump it, so a rollback that restores an old free count
+	// still advances the version. Caches keyed on VersionAt therefore can
+	// never serve a value computed before a rollback as current.
+	ver []uint32
+
+	// nz[t] is a bitmap over node IDs (64 nodes per word, bit order =
+	// node order) of the nodes with free[node,t] > 0, and byFree[t][f] is
+	// a bitmap of the nodes with exactly f free devices of t
+	// (1 <= f <= the type's largest per-node capacity). Together they
+	// serve the placement scans — ascending-node free lists and the
+	// consolidation order (free descending, node ascending) — without
+	// touching nodes that have nothing free and without sorting.
+	nz     [gpu.NumTypes][]uint64
+	byFree [gpu.NumTypes][][]uint64
+
+	// uniformCap[t] is the common per-node capacity of type t when every
+	// node holding the type has the same capacity, -1 when capacities
+	// are mixed, and 0 when no node has the type. Immutable after
+	// NewState.
+	uniformCap [gpu.NumTypes]int32
+
 	// Undo journal, recorded only while at least one savepoint is open.
 	journal []journalEntry
 	marks   []int // journal length at each open savepoint
@@ -62,7 +85,8 @@ func cellHash(cell int, count int32) uint64 {
 // NewState returns a fully free state for the cluster.
 func NewState(c *Cluster) *State {
 	n := c.NumNodes() * stride
-	s := &State{c: c, free: make([]int32, n), cap: make([]int32, n)}
+	s := &State{c: c, free: make([]int32, n), cap: make([]int32, n), ver: make([]uint32, n)}
+	var maxCap [gpu.NumTypes]int32
 	for i, node := range c.nodes {
 		for t := gpu.Type(0); t < gpu.NumTypes; t++ {
 			count := node.Capacity[t]
@@ -74,10 +98,36 @@ func NewState(c *Cluster) *State {
 			s.cap[cell] = int32(count)
 			s.byType[t] += count
 			s.total += count
+			if int32(count) > maxCap[t] {
+				maxCap[t] = int32(count)
+			}
+			switch {
+			case s.uniformCap[t] == 0:
+				s.uniformCap[t] = int32(count)
+			case s.uniformCap[t] != int32(count):
+				s.uniformCap[t] = -1
+			}
 		}
 	}
 	for cell, f := range s.free {
 		s.hash ^= cellHash(cell, f)
+	}
+	words := (c.NumNodes() + 63) / 64
+	for t := gpu.Type(0); t < gpu.NumTypes; t++ {
+		if maxCap[t] == 0 {
+			continue
+		}
+		s.nz[t] = make([]uint64, words)
+		s.byFree[t] = make([][]uint64, maxCap[t]+1)
+		for f := int32(1); f <= maxCap[t]; f++ {
+			s.byFree[t][f] = make([]uint64, words)
+		}
+		for node := 0; node < c.NumNodes(); node++ {
+			if f := s.free[node*stride+int(t)]; f > 0 {
+				s.nz[t][node>>6] |= 1 << uint(node&63)
+				s.byFree[t][f][node>>6] |= 1 << uint(node&63)
+			}
+		}
 	}
 	return s
 }
@@ -100,6 +150,20 @@ func (s *State) TotalFree() int { return s.total }
 // the string Key as the memoization key in Hadar's DP subroutine.
 func (s *State) Hash() uint64 { return s.hash }
 
+// VersionAt returns the change counter of the (node, type) cell. It
+// increments on every mutation in either direction — each Allocate or
+// Release placement and each undone journal entry of a Rollback — so a
+// value cached at an older version can never be mistaken for current,
+// even when a rollback restores the exact free count the cache saw.
+func (s *State) VersionAt(node int, t gpu.Type) uint32 {
+	return s.ver[node*stride+int(t)]
+}
+
+// UniformCap returns the common per-node capacity of type t when every
+// node holding the type has the same capacity, -1 when capacities are
+// mixed, and 0 when no node has the type.
+func (s *State) UniformCap(t gpu.Type) int { return int(s.uniformCap[t]) }
+
 // NodeFree pairs a node ID with a free device count, for placement
 // scans.
 type NodeFree struct {
@@ -109,14 +173,48 @@ type NodeFree struct {
 
 // FreeNodes appends to buf the nodes holding free devices of type t, in
 // ascending node order, and returns the extended slice. Pass a reused
-// buffer (or the state's Scratch) to keep scans allocation-free.
+// buffer (or the state's Scratch) to keep scans allocation-free. The
+// scan walks the non-zero bitmap, so its cost is proportional to the
+// nodes that actually hold the type free, not the cluster size.
 func (s *State) FreeNodes(t gpu.Type, buf []NodeFree) []NodeFree {
 	if s.byType[t] == 0 {
 		return buf
 	}
-	for cell, n := int(t), 0; cell < len(s.free); cell, n = cell+stride, n+1 {
-		if f := s.free[cell]; f > 0 {
-			buf = append(buf, NodeFree{Node: n, Free: int(f)})
+	for w, word := range s.nz[t] {
+		base := w << 6
+		for word != 0 {
+			n := base + bits.TrailingZeros64(word)
+			word &= word - 1
+			buf = append(buf, NodeFree{Node: n, Free: int(s.free[n*stride+int(t)])})
+		}
+	}
+	return buf
+}
+
+// AppendFreeNodesByFreeDesc appends to buf up to maxNodes nodes holding
+// free devices of type t in consolidation order — free count
+// descending, ties by ascending node ID — and returns the extended
+// slice. maxNodes <= 0 means no limit. The scan walks the per-count
+// bucket bitmaps from fullest to emptiest, so no sort happens; a
+// consumer placing need devices can pass maxNodes = need, because every
+// listed node contributes at least one device.
+func (s *State) AppendFreeNodesByFreeDesc(t gpu.Type, maxNodes int, buf []NodeFree) []NodeFree {
+	if s.byType[t] == 0 {
+		return buf
+	}
+	appended := 0
+	buckets := s.byFree[t]
+	for f := len(buckets) - 1; f >= 1; f-- {
+		for w, word := range buckets[f] {
+			base := w << 6
+			for word != 0 {
+				n := base + bits.TrailingZeros64(word)
+				word &= word - 1
+				buf = append(buf, NodeFree{Node: n, Free: f})
+				if appended++; maxNodes > 0 && appended >= maxNodes {
+					return buf
+				}
+			}
 		}
 	}
 	return buf
@@ -133,13 +231,32 @@ func (s *State) Scratch() []NodeFree {
 	return s.scratch[:0]
 }
 
-// apply changes one cell by delta, maintaining the counters, the hash,
-// and (inside a transaction) the undo journal.
-func (s *State) apply(cell int, delta int32) {
-	old := s.free[cell]
-	now := old + delta
+// setFree moves one cell from old to now free devices, maintaining the
+// hash, the version counter, and the bitmap indexes. Both apply and
+// undo route through it, so the version advances on rollbacks too.
+func (s *State) setFree(cell int, old, now int32) {
 	s.hash ^= cellHash(cell, old) ^ cellHash(cell, now)
 	s.free[cell] = now
+	s.ver[cell]++
+	t := cell % stride
+	node := cell / stride
+	word, bit := node>>6, uint(node&63)
+	if old > 0 {
+		s.byFree[t][old][word] &^= 1 << bit
+	}
+	if now > 0 {
+		s.byFree[t][now][word] |= 1 << bit
+		s.nz[t][word] |= 1 << bit
+	} else {
+		s.nz[t][word] &^= 1 << bit
+	}
+}
+
+// apply changes one cell by delta, maintaining the counters, the hash,
+// the indexes, and (inside a transaction) the undo journal.
+func (s *State) apply(cell int, delta int32) {
+	old := s.free[cell]
+	s.setFree(cell, old, old+delta)
 	s.byType[cell%stride] += int(delta)
 	s.total += int(delta)
 	if len(s.marks) > 0 {
@@ -151,9 +268,7 @@ func (s *State) apply(cell int, delta int32) {
 func (s *State) undo(e journalEntry) {
 	cell := int(e.cell)
 	old := s.free[cell]
-	now := old - e.delta
-	s.hash ^= cellHash(cell, old) ^ cellHash(cell, now)
-	s.free[cell] = now
+	s.setFree(cell, old, old-e.delta)
 	s.byType[cell%stride] -= int(e.delta)
 	s.total -= int(e.delta)
 }
@@ -267,15 +382,30 @@ func (s *State) CanAllocate(a Alloc) bool {
 
 // Clone returns an independent copy of the state (sharing the immutable
 // cluster and capacity table). Open savepoints do not transfer: the
-// clone starts outside any transaction.
+// clone starts outside any transaction. The bitmap indexes and version
+// counters are deep-copied, so clones mutate independently.
 func (s *State) Clone() *State {
 	out := &State{
-		c:      s.c,
-		free:   append([]int32(nil), s.free...),
-		cap:    s.cap,
-		byType: s.byType,
-		total:  s.total,
-		hash:   s.hash,
+		c:          s.c,
+		free:       append([]int32(nil), s.free...),
+		cap:        s.cap,
+		ver:        append([]uint32(nil), s.ver...),
+		byType:     s.byType,
+		total:      s.total,
+		hash:       s.hash,
+		uniformCap: s.uniformCap,
+	}
+	for t := range s.nz {
+		if s.nz[t] == nil {
+			continue
+		}
+		out.nz[t] = append([]uint64(nil), s.nz[t]...)
+		out.byFree[t] = make([][]uint64, len(s.byFree[t]))
+		for f, bm := range s.byFree[t] {
+			if bm != nil {
+				out.byFree[t][f] = append([]uint64(nil), bm...)
+			}
+		}
 	}
 	return out
 }

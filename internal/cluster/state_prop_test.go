@@ -38,6 +38,55 @@ func checkCounters(t *testing.T, s *State) {
 	if hash != s.hash {
 		t.Fatalf("hash drifted: incremental %#x, recomputed %#x", s.hash, hash)
 	}
+	checkIndexes(t, s)
+}
+
+// checkIndexes recomputes the non-zero and per-free-count bitmap
+// indexes from the flat free array and compares them to the
+// incrementally maintained ones, then checks the consolidation-order
+// iterator against a from-scratch sort.
+func checkIndexes(t *testing.T, s *State) {
+	t.Helper()
+	for typ := gpu.Type(0); typ < gpu.NumTypes; typ++ {
+		for node := 0; node < s.c.NumNodes(); node++ {
+			f := s.free[node*stride+int(typ)]
+			word, bit := node>>6, uint(node&63)
+			wantNZ := f > 0
+			gotNZ := s.nz[typ] != nil && s.nz[typ][word]&(1<<bit) != 0
+			if wantNZ != gotNZ {
+				t.Fatalf("nz[%v] bit for node %d = %v, want %v (free %d)", typ, node, gotNZ, wantNZ, f)
+			}
+			for cnt := 1; cnt < len(s.byFree[typ]); cnt++ {
+				got := s.byFree[typ][cnt][word]&(1<<bit) != 0
+				if want := int(f) == cnt; got != want {
+					t.Fatalf("byFree[%v][%d] bit for node %d = %v, want %v (free %d)", typ, cnt, node, got, want, f)
+				}
+			}
+		}
+		// The bucket iterator must equal a brute-force consolidation sort
+		// (free descending, node ascending) of the free-node list.
+		want := append([]NodeFree(nil), s.FreeNodes(typ, nil)...)
+		for i := 1; i < len(want); i++ {
+			for k := i; k > 0 && (want[k].Free > want[k-1].Free ||
+				(want[k].Free == want[k-1].Free && want[k].Node < want[k-1].Node)); k-- {
+				want[k], want[k-1] = want[k-1], want[k]
+			}
+		}
+		got := s.AppendFreeNodesByFreeDesc(typ, 0, nil)
+		if len(got) != len(want) {
+			t.Fatalf("AppendFreeNodesByFreeDesc(%v) returned %d nodes, want %d", typ, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("AppendFreeNodesByFreeDesc(%v)[%d] = %+v, want %+v", typ, i, got[i], want[i])
+			}
+		}
+		if len(want) > 1 {
+			if truncated := s.AppendFreeNodesByFreeDesc(typ, 1, nil); len(truncated) != 1 || truncated[0] != want[0] {
+				t.Fatalf("AppendFreeNodesByFreeDesc(%v, 1) = %+v, want [%+v]", typ, truncated, want[0])
+			}
+		}
+	}
 }
 
 // frame snapshots everything a savepoint must restore on rollback.

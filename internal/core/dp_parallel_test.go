@@ -1,0 +1,121 @@
+package core
+
+import (
+	"runtime"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/gpu"
+	"repro/internal/job"
+	"repro/internal/parallel"
+	"repro/internal/sched"
+)
+
+// dpCluster is large enough that a 12-job DP tree has real contention:
+// not every job fits, so allocate-vs-skip branching matters.
+func dpCluster() *cluster.Cluster {
+	return cluster.New(
+		gpu.Fleet{gpu.V100: 4},
+		gpu.Fleet{gpu.V100: 2, gpu.P100: 2},
+		gpu.Fleet{gpu.P100: 4},
+		gpu.Fleet{gpu.K80: 4},
+		gpu.Fleet{gpu.T4: 2, gpu.K80: 2},
+	)
+}
+
+// dpQueue builds a deterministic 12-job queue with varied worker counts,
+// throughput profiles, and partial progress, so the DP sees heterogeneous
+// payoffs, mixed-type candidates, and ties.
+func dpQueue() []*sched.JobState {
+	var states []*sched.JobState
+	for i := 0; i < 12; i++ {
+		w := 1 + i%4
+		j := &job.Job{
+			ID: i, Model: "dp-test", Workers: w,
+			Epochs: 4000 + 700*i, ItersPerEpoch: 1,
+			Throughput: map[gpu.Type]float64{
+				gpu.V100: 8 + float64(i%5),
+				gpu.P100: 4 + float64(i%3),
+				gpu.K80:  1 + float64(i%2),
+				gpu.T4:   3,
+			},
+		}
+		st := newState(j)
+		// Stagger progress so remaining work (and hence prices) differ.
+		st.Remaining -= float64(200 * i)
+		states = append(states, st)
+	}
+	return states
+}
+
+func scheduleWithWorkers(workers int) map[int]cluster.Alloc {
+	opts := DefaultOptions()
+	opts.DPJobLimit = 12 // whole queue goes through the DP
+	opts.DPWorkers = workers
+	s := New(opts)
+	return s.Schedule(mkCtx(dpCluster(), dpQueue()...))
+}
+
+// TestDPWorkerCountInvariance asserts the parallel DP produces the exact
+// allocation map the sequential search does, placement for placement, at
+// every worker count. This is the core guarantee behind the golden
+// schedule digests: DPWorkers is a throughput knob, never a behaviour
+// knob.
+func TestDPWorkerCountInvariance(t *testing.T) {
+	PanicOnInconsistency = true
+	want := scheduleWithWorkers(1)
+	if len(want) == 0 {
+		t.Fatal("sequential DP scheduled nothing; test queue is broken")
+	}
+	counts := []int{2, 3, 8, runtime.GOMAXPROCS(0)}
+	for _, w := range counts {
+		if w <= 1 {
+			continue
+		}
+		got := scheduleWithWorkers(w)
+		if len(got) != len(want) {
+			t.Fatalf("workers=%d scheduled %d jobs, sequential scheduled %d", w, len(got), len(want))
+		}
+		for id, a := range want {
+			b, ok := got[id]
+			if !ok {
+				t.Fatalf("workers=%d dropped job %d", w, id)
+			}
+			if !allocEqual(a, b) {
+				t.Errorf("workers=%d job %d alloc differs:\nseq: %v\npar: %v", w, id, a, b)
+			}
+		}
+	}
+}
+
+func allocEqual(a, b cluster.Alloc) bool {
+	ca, cb := a.Canonical(), b.Canonical()
+	if len(ca) != len(cb) {
+		return false
+	}
+	for i := range ca {
+		if ca[i] != cb[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestDPWorkerCountResolution pins the DPWorkers resolution rules: an
+// explicit count is honoured, and tiny queues always run sequentially
+// because the split cannot amortize its clones.
+func TestDPWorkerCountResolution(t *testing.T) {
+	s := New(DefaultOptions())
+	if got := s.dpWorkerCount(12); got != parallel.DefaultWorkers() {
+		t.Errorf("auto workers for 12 jobs = %d, want %d", got, parallel.DefaultWorkers())
+	}
+	opts := DefaultOptions()
+	opts.DPWorkers = 4
+	s = New(opts)
+	if got := s.dpWorkerCount(12); got != 4 {
+		t.Errorf("explicit workers = %d, want 4", got)
+	}
+	if got := s.dpWorkerCount(3); got != 1 {
+		t.Errorf("tiny queue workers = %d, want 1", got)
+	}
+}

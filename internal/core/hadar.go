@@ -1,6 +1,7 @@
 package core
 
 import (
+	"math"
 	"sort"
 
 	"repro/internal/bug"
@@ -39,6 +40,13 @@ type Options struct {
 	// (Algorithm 2); larger queues fall back to the greedy
 	// payoff-density pass, preserving Fig. 7's scalability.
 	DPJobLimit int
+	// DPWorkers caps the worker goroutines the DP fans its search out
+	// across: the search tree is expanded sequentially to a small
+	// frontier, each frontier subtree runs on its own cloned free state,
+	// and the results fold back with the exact sequential comparison, so
+	// the schedule is byte-identical at every worker count. 0 uses every
+	// available CPU; 1 forces the sequential search.
+	DPWorkers int
 	// TaskLevel enables mixed-accelerator-type gangs (Hadar's core
 	// feature). Disabling it yields a job-level heterogeneity-aware
 	// scheduler for the DESIGN.md ablation.
@@ -88,14 +96,18 @@ type Scheduler struct {
 	// dual subroutine produced that did not fit the free state it was
 	// itself tracking. Always 0 unless there is a placement bug.
 	inconsistencies int
-	// Reusable FIND_ALLOC working storage (the scheduler is documented
-	// as not safe for concurrent use): fillScratch is the node-scan
-	// buffer fillTypes sorts candidate nodes in, arena is the backing
-	// store candidate placements are carved from, and candScratch is the
-	// candidate list itself. All are recycled on every findAlloc call.
-	fillScratch []fillOption
-	arena       []cluster.Placement
-	candScratch []cluster.Alloc
+	// probe is the sequential passes' FIND_ALLOC working set, reused
+	// across rounds (the scheduler is documented as not safe for
+	// concurrent use). Parallel DP workers build their own probes.
+	probe probe
+	// Per-round scratch, all recycled between rounds: the
+	// density-ordered queue and its sort entries, the per-job usable
+	// type lists carved from one arena, and the payoff-prescreen flags.
+	queueScratch []*sched.JobState
+	entScratch   []queueEntry
+	typesArena   []gpu.Type
+	typesScratch [][]gpu.Type
+	skipScratch  []bool
 }
 
 // New builds a Hadar scheduler. It panics on invalid options so
@@ -109,6 +121,9 @@ func New(opts Options) *Scheduler {
 	}
 	if opts.DPJobLimit < 0 {
 		bug.Failf("core: negative DPJobLimit %d", opts.DPJobLimit)
+	}
+	if opts.DPWorkers < 0 {
+		bug.Failf("core: negative DPWorkers %d", opts.DPWorkers)
 	}
 	return &Scheduler{opts: opts}
 }
@@ -169,19 +184,96 @@ func (s *Scheduler) Schedule(ctx *sched.Context) map[int]cluster.Alloc {
 	queue := s.orderQueue(ctx)
 	// Usable-type lists are a function of the immutable job alone;
 	// compute them once per round instead of once per FIND_ALLOC call.
-	jobTypes := make([][]gpu.Type, len(queue))
-	for i, st := range queue {
-		jobTypes[i] = sched.UsableTypes(st.Job)
-	}
+	jobTypes := s.usableTypes(queue)
+	skip := s.payoffPrescreen(ctx, queue, jobTypes, pt)
 	if len(queue) <= s.opts.DPJobLimit {
-		s.dpAllocate(ctx, queue, jobTypes, pt, out)
+		s.dpAllocate(ctx, queue, jobTypes, skip, pt, out)
 	} else {
-		s.greedyAllocate(ctx, queue, jobTypes, pt, out)
+		s.greedyAllocate(ctx, queue, jobTypes, skip, pt, out)
 	}
 	if s.opts.Backfill {
 		s.backfill(ctx, queue, jobTypes, pt, out)
 	}
 	return out
+}
+
+// usableTypes fills the per-job usable-type lists for the round,
+// carving every list from one reused arena so the whole round costs at
+// most one allocation here.
+func (s *Scheduler) usableTypes(queue []*sched.JobState) [][]gpu.Type {
+	if want := len(queue) * int(gpu.NumTypes); cap(s.typesArena) < want {
+		s.typesArena = make([]gpu.Type, 0, want)
+	}
+	arena := s.typesArena[:0]
+	lists := s.typesScratch[:0]
+	for _, st := range queue {
+		mark := len(arena)
+		arena = sched.AppendUsableTypes(arena, st.Job)
+		lists = append(lists, arena[mark:len(arena):len(arena)])
+	}
+	s.typesArena, s.typesScratch = arena, lists
+	return lists
+}
+
+// payoffPrescreen flags, once per round, the queued jobs whose payoff
+// upper bound is safely non-positive: the admission filter mu_j > 0
+// would reject every candidate FIND_ALLOC could produce, so the DP and
+// greedy passes skip the probe outright. The bound pairs the highest
+// utility any allocation can reach — the full gang on the job's fastest
+// usable type at the cluster's best straggler factor, i.e. the minimum
+// completion duration; Utility is positive and non-increasing in
+// duration by contract — with the lowest cost any candidate can be
+// charged: every device costs at least U_min of some usable type (Eq.
+// 5's curve never dips below U_min) and the only discount ever applied
+// is the stickiness factor. A small relative margin absorbs
+// floating-point rounding in the bound itself, so near-zero payoffs
+// still fall through to the exact probe and the schedule is
+// bit-identical with and without the screen. The backfill pass ignores
+// the payoff filter and therefore never consults these flags.
+func (s *Scheduler) payoffPrescreen(ctx *sched.Context, queue []*sched.JobState, jobTypes [][]gpu.Type, pt *priceTable) []bool {
+	if cap(s.skipScratch) < len(queue) {
+		s.skipScratch = make([]bool, len(queue))
+	}
+	skip := s.skipScratch[:len(queue)]
+	maxSpeed := 0.0
+	for _, n := range ctx.Cluster.Nodes() {
+		if n.Speed > maxSpeed {
+			maxSpeed = n.Speed
+		}
+	}
+	for i, st := range queue {
+		skip[i] = false
+		j := st.Job
+		if st.Remaining <= 0 {
+			continue // the passes skip these before probing anyway
+		}
+		_, best, ok := j.BestType()
+		if !ok || best*maxSpeed <= 0 {
+			continue
+		}
+		minU := math.Inf(1)
+		for _, t := range jobTypes[i] {
+			if pt.umax[t] > 0 && pt.umin[t] < minU {
+				minU = pt.umin[t]
+			}
+		}
+		age := ctx.Now - j.Arrival
+		if age < 0 {
+			age = 0
+		}
+		durMin := age + st.Remaining/(float64(j.Workers)*best*maxSpeed)
+		uMax := s.opts.Utility.Value(j, st.Remaining, durMin)
+		costLB := (1 - s.opts.Stickiness) * float64(j.Workers) * minU
+		ub := uMax - costLB
+		margin := costLB
+		if math.IsInf(margin, 1) {
+			margin = 0
+		}
+		if ub < -1e-9*(math.Abs(uMax)+margin+1) {
+			skip[i] = true
+		}
+	}
+	return skip
 }
 
 // backfill offers leftover devices to jobs the payoff filter rejected,
@@ -204,7 +296,11 @@ func (s *Scheduler) backfill(ctx *sched.Context, queue []*sched.JobState, jobTyp
 			return
 		}
 	}
+	s.probe.bind(&s.opts, pt, free)
 	for i, st := range queue {
+		if free.TotalFree() == 0 {
+			break // nothing left to offer anyone
+		}
 		if st.Remaining <= 0 {
 			continue
 		}
@@ -214,7 +310,7 @@ func (s *Scheduler) backfill(ctx *sched.Context, queue []*sched.JobState, jobTyp
 		if free.TotalFree() < st.Job.Workers {
 			continue
 		}
-		cand, ok := s.findAlloc(st, ctx, free, pt, jobTypes[i])
+		cand, ok := s.probe.findAlloc(st, ctx, jobTypes[i])
 		if !ok {
 			continue
 		}
@@ -226,17 +322,43 @@ func (s *Scheduler) backfill(ctx *sched.Context, queue []*sched.JobState, jobTyp
 	}
 }
 
+// queueEntry pairs a job with its queue-ordering density for the
+// closure-free sort.
+type queueEntry struct {
+	st      *sched.JobState
+	density float64
+}
+
+// queueByDensity orders entries by descending density, ties by
+// ascending job ID. Job IDs are unique, so the order is total and
+// sort.Sort (unstable) produces the same permutation a stable sort
+// would.
+type queueByDensity []queueEntry
+
+func (q queueByDensity) Len() int      { return len(q) }
+func (q queueByDensity) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q queueByDensity) Less(i, j int) bool {
+	if q[i].density > q[j].density {
+		return true
+	}
+	if q[i].density < q[j].density {
+		return false
+	}
+	return q[i].st.Job.ID < q[j].st.Job.ID
+}
+
 // orderQueue sorts jobs by descending payoff density: the utility of an
 // immediate full-speed completion per requested worker. This is the
-// order both the greedy pass and the DP consider jobs in.
+// order both the greedy pass and the DP consider jobs in. The entry and
+// queue slices are reused across rounds; callers must not retain the
+// returned slice past the round.
 func (s *Scheduler) orderQueue(ctx *sched.Context) []*sched.JobState {
-	queue := append([]*sched.JobState(nil), ctx.Jobs...)
-	density := make(map[int]float64, len(queue))
-	for _, st := range queue {
+	ents := s.entScratch[:0]
+	for _, st := range ctx.Jobs {
 		j := st.Job
 		_, best, ok := j.BestType()
 		if !ok || st.Remaining <= 0 {
-			density[j.ID] = 0
+			ents = append(ents, queueEntry{st: st})
 			continue
 		}
 		age := ctx.Now - j.Arrival
@@ -248,31 +370,31 @@ func (s *Scheduler) orderQueue(ctx *sched.Context) []*sched.JobState {
 		if s.opts.Aging > 0 {
 			d *= 1 + age/s.opts.Aging
 		}
-		density[j.ID] = d
+		ents = append(ents, queueEntry{st: st, density: d})
 	}
-	sort.SliceStable(queue, func(a, b int) bool {
-		da, db := density[queue[a].Job.ID], density[queue[b].Job.ID]
-		if da > db {
-			return true
-		}
-		if da < db {
-			return false
-		}
-		return queue[a].Job.ID < queue[b].Job.ID
-	})
+	sort.Sort(queueByDensity(ents))
+	queue := s.queueScratch[:0]
+	for _, e := range ents {
+		queue = append(queue, e.st)
+	}
+	s.entScratch, s.queueScratch = ents, queue
 	return queue
 }
 
 // greedyAllocate is the large-queue path: one pass in payoff-density
 // order, allocating each positive-payoff job at its best candidate and
 // repricing as capacity fills.
-func (s *Scheduler) greedyAllocate(ctx *sched.Context, queue []*sched.JobState, jobTypes [][]gpu.Type, pt *priceTable, out map[int]cluster.Alloc) {
+func (s *Scheduler) greedyAllocate(ctx *sched.Context, queue []*sched.JobState, jobTypes [][]gpu.Type, skip []bool, pt *priceTable, out map[int]cluster.Alloc) {
 	free := cluster.NewState(ctx.Cluster)
+	s.probe.bind(&s.opts, pt, free)
 	for i, st := range queue {
-		if st.Remaining <= 0 {
-			continue
+		if free.TotalFree() == 0 {
+			break // every further probe would come back empty-handed
 		}
-		cand, ok := s.findAlloc(st, ctx, free, pt, jobTypes[i])
+		if st.Remaining <= 0 || skip[i] {
+			continue // skip: the payoff bound already failed mu_j > 0
+		}
+		cand, ok := s.probe.findAlloc(st, ctx, jobTypes[i])
 		if !ok || cand.payoff <= 0 {
 			continue // admission filter mu_j > 0
 		}
@@ -282,66 +404,4 @@ func (s *Scheduler) greedyAllocate(ctx *sched.Context, queue []*sched.JobState, 
 		}
 		out[st.Job.ID] = cand.alloc
 	}
-}
-
-// dpAllocate is Algorithm 2's dynamic program: for each job in order,
-// branch on "allocate its best candidate" vs "skip", memoizing on
-// (queue index, free-state hash), and keep the branch with the larger
-// total payoff (equivalently, minimum cost for the chosen utility).
-// Branches mutate one shared State under a savepoint and roll it back,
-// so the search allocates nothing per visited node beyond the memo
-// entries themselves.
-func (s *Scheduler) dpAllocate(ctx *sched.Context, queue []*sched.JobState, jobTypes [][]gpu.Type, pt *priceTable, out map[int]cluster.Alloc) {
-	type result struct {
-		payoff float64
-		picks  []pick
-	}
-	type memoKey struct {
-		idx  int
-		hash uint64
-	}
-	memo := make(map[memoKey]result)
-	var rec func(idx int, free *cluster.State) result
-	rec = func(idx int, free *cluster.State) result {
-		if idx >= len(queue) || free.TotalFree() == 0 {
-			return result{}
-		}
-		key := memoKey{idx: idx, hash: free.Hash()}
-		if r, ok := memo[key]; ok {
-			return r
-		}
-		// Branch 1: skip this job.
-		best := rec(idx+1, free)
-		// Branch 2: allocate this job at its best candidate.
-		st := queue[idx]
-		if st.Remaining > 0 {
-			if cand, ok := s.findAlloc(st, ctx, free, pt, jobTypes[idx]); ok && cand.payoff > 0 {
-				sp := free.Savepoint()
-				if err := free.Allocate(cand.alloc); err != nil {
-					s.noteInconsistency(err)
-				} else {
-					sub := rec(idx+1, free)
-					total := cand.payoff + sub.payoff
-					if total > best.payoff {
-						picks := make([]pick, 0, len(sub.picks)+1)
-						picks = append(picks, pick{st.Job.ID, cand.alloc})
-						picks = append(picks, sub.picks...)
-						best = result{payoff: total, picks: picks}
-					}
-				}
-				free.Rollback(sp)
-			}
-		}
-		memo[key] = best
-		return best
-	}
-	final := rec(0, cluster.NewState(ctx.Cluster))
-	for _, p := range final.picks {
-		out[p.id] = p.alloc
-	}
-}
-
-type pick struct {
-	id    int
-	alloc cluster.Alloc
 }

@@ -15,6 +15,13 @@ type priceTable struct {
 	c           *cluster.Cluster
 	umax, umin  [gpu.NumTypes]float64
 	exponential bool
+	// curve[t][cap][used] caches at(t, used/cap) for every distinct
+	// per-node capacity of type t present in the cluster, evaluated once
+	// per round in newPriceTable with the exact same expression price
+	// would use, so the per-probe hot path indexes two slices instead of
+	// calling math.Pow. Immutable after construction — parallel DP
+	// workers read it concurrently.
+	curve [gpu.NumTypes][][]float64
 }
 
 // newPriceTable computes the round's utility bounds from the active job
@@ -78,7 +85,37 @@ func newPriceTable(ctx *sched.Context, u Utility, eta float64, exponential bool)
 			pt.umin[t] = pt.umax[t] / math.E
 		}
 	}
+	pt.fillCurves()
 	return pt
+}
+
+// fillCurves evaluates the marginal price function once per (type,
+// distinct node capacity, used count): the per-probe price lookup then
+// reduces to two slice indexes. Each entry is computed with exactly the
+// expression price would evaluate lazily, so cached and direct values
+// are bit-identical.
+func (pt *priceTable) fillCurves() {
+	for node := 0; node < pt.c.NumNodes(); node++ {
+		for t := gpu.Type(0); t < gpu.NumTypes; t++ {
+			cap := pt.c.Capacity(node, t)
+			if cap == 0 {
+				continue
+			}
+			if len(pt.curve[t]) <= cap {
+				grown := make([][]float64, cap+1)
+				copy(grown, pt.curve[t])
+				pt.curve[t] = grown
+			}
+			if pt.curve[t][cap] != nil {
+				continue
+			}
+			row := make([]float64, cap+1)
+			for used := 0; used <= cap; used++ {
+				row[used] = pt.at(t, float64(used)/float64(cap))
+			}
+			pt.curve[t][cap] = row
+		}
+	}
 }
 
 // defaultEta returns the scaling factor eta keeping the initial dual
@@ -103,14 +140,15 @@ func defaultEta(ctx *sched.Context) float64 {
 
 // price returns k_h^r evaluated at the node's current utilization, read
 // from the free state: gamma = capacity - free (Eq. 5). Nodes without
-// the type price at +Inf so they are never selected.
+// the type price at +Inf so they are never selected. The value comes
+// from the precomputed curve, indexed by the node's capacity and used
+// count.
 func (pt *priceTable) price(free *cluster.State, node int, t gpu.Type) float64 {
 	cap := pt.c.Capacity(node, t)
 	if cap == 0 {
 		return math.Inf(1)
 	}
-	gamma := float64(cap - free.Free(node, t))
-	return pt.at(t, gamma/float64(cap))
+	return pt.curve[t][cap][cap-free.Free(node, t)]
 }
 
 // at evaluates the marginal price function k^r for type t at the given

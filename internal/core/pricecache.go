@@ -1,0 +1,66 @@
+package core
+
+import (
+	"repro/internal/cluster"
+	"repro/internal/gpu"
+)
+
+// priceCache memoizes per-(node, type) dual prices against one bound
+// free state. The FIND_ALLOC cost loop prices the same handful of
+// (node, type) cells over and over while the DP probes allocate-vs-skip
+// branches; only the cells an Allocate/Release actually touched can
+// change price between probes.
+//
+// Invalidation is by dirty bit, not by explicit notification: every
+// cached value is stamped with the state's per-cell version counter at
+// fill time, and a lookup recomputes whenever the stamp no longer
+// matches. The counter advances on every mutation in either direction —
+// including each undo a Rollback replays — so a rollback that restores
+// the exact free count the cache saw still moves the version past the
+// stamp, and a stale read after rollback is impossible (the recompute
+// then just reproduces the same price from the restored count).
+//
+// A cache is bound to one (priceTable, State) pair per scheduling pass
+// and is not safe for concurrent use; parallel DP workers each own one.
+type priceCache struct {
+	pt *priceTable
+	st *cluster.State
+	// stamp[cell] is VersionAt+1 when val[cell] was filled; 0 marks a
+	// never-filled cell, so the zero value of a rebound cache is empty.
+	stamp []uint32
+	val   []float64
+	// fills counts recomputes, for the invalidation tests.
+	fills int
+}
+
+// bind points the cache at a pass's price table and free state,
+// dropping every cached value.
+func (pc *priceCache) bind(pt *priceTable, st *cluster.State) {
+	pc.pt, pc.st = pt, st
+	n := st.Cluster().NumNodes() * int(gpu.NumTypes)
+	if cap(pc.stamp) < n {
+		pc.stamp = make([]uint32, n)
+		pc.val = make([]float64, n)
+	} else {
+		pc.stamp = pc.stamp[:n]
+		pc.val = pc.val[:n]
+		for i := range pc.stamp {
+			pc.stamp[i] = 0
+		}
+	}
+}
+
+// price returns the dual price of (node, t) against the bound state,
+// recomputing only when the cell changed since the cached fill.
+func (pc *priceCache) price(node int, t gpu.Type) float64 {
+	cell := node*int(gpu.NumTypes) + int(t)
+	want := pc.st.VersionAt(node, t) + 1
+	if pc.stamp[cell] == want {
+		return pc.val[cell]
+	}
+	v := pc.pt.price(pc.st, node, t)
+	pc.stamp[cell] = want
+	pc.val[cell] = v
+	pc.fills++
+	return v
+}

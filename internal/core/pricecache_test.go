@@ -1,0 +1,138 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/gpu"
+	"repro/internal/sched"
+)
+
+// cacheFixture builds a price table and bound cache over the standard
+// heterogeneous test cluster with one active job per type family.
+func cacheFixture(t *testing.T) (*priceTable, *cluster.State, *priceCache) {
+	t.Helper()
+	c := heteroCluster()
+	states := []*sched.JobState{
+		newState(mkJob(0, 2, 10000, 10, 5, 1)),
+		newState(mkJob(1, 1, 8000, 8, 6, 2)),
+	}
+	ctx := mkCtx(c, states...)
+	pt := newPriceTable(ctx, DefaultOptions().Utility, 0, true)
+	st := cluster.NewState(c)
+	pc := &priceCache{}
+	pc.bind(pt, st)
+	return pt, st, pc
+}
+
+// TestPriceCacheHitsUntouchedCells verifies repeated lookups of an
+// unchanged cell cost exactly one fill, and that the cached value is the
+// direct price, bit for bit.
+func TestPriceCacheHitsUntouchedCells(t *testing.T) {
+	pt, st, pc := cacheFixture(t)
+	direct := pt.price(st, 0, gpu.V100)
+	for i := 0; i < 5; i++ {
+		if got := pc.price(0, gpu.V100); got != direct {
+			t.Fatalf("cached price %v != direct %v", got, direct)
+		}
+	}
+	if pc.fills != 1 {
+		t.Errorf("5 lookups of an untouched cell cost %d fills, want 1", pc.fills)
+	}
+}
+
+// TestPriceCacheDirtyOnAllocateRelease verifies mutations in both
+// directions invalidate exactly the touched cells.
+func TestPriceCacheDirtyOnAllocateRelease(t *testing.T) {
+	pt, st, pc := cacheFixture(t)
+	a := cluster.Alloc{{Node: 0, Type: gpu.V100, Count: 1}}
+	before := pc.price(0, gpu.V100)
+	other := pc.price(1, gpu.P100)
+	if err := st.Allocate(a); err != nil {
+		t.Fatal(err)
+	}
+	afterAlloc := pc.price(0, gpu.V100)
+	if want := pt.price(st, 0, gpu.V100); afterAlloc != want {
+		t.Fatalf("price after allocate = %v, direct = %v", afterAlloc, want)
+	}
+	if afterAlloc < before {
+		t.Errorf("marginal price decreased after allocate: %v -> %v", before, afterAlloc)
+	}
+	if err := st.Release(a); err != nil {
+		t.Fatal(err)
+	}
+	if got := pc.price(0, gpu.V100); got != before {
+		t.Errorf("price after release = %v, want the pre-allocate price %v", got, before)
+	}
+	// The untouched (node 1, P100) cell must still be served from cache:
+	// 3 fills for the mutated cell's three states plus 1 for the other.
+	if got := pc.price(1, gpu.P100); got != other {
+		t.Errorf("untouched cell changed: %v -> %v", other, got)
+	}
+	if pc.fills != 4 {
+		t.Errorf("fills = %d, want 4 (3 for the mutated cell, 1 for the untouched one)", pc.fills)
+	}
+}
+
+// TestPriceCacheNoStaleReadAfterRollback is the invalidation protocol's
+// key property: a rollback that restores the exact free count the cache
+// last saw still advances the per-cell version (undo bumps it too), so
+// the next lookup recomputes instead of serving the value cached for the
+// transient mid-savepoint state.
+func TestPriceCacheNoStaleReadAfterRollback(t *testing.T) {
+	pt, st, pc := cacheFixture(t)
+	a := cluster.Alloc{{Node: 0, Type: gpu.V100, Count: 2}}
+	clean := pc.price(0, gpu.V100)
+	sp := st.Savepoint()
+	if err := st.Allocate(a); err != nil {
+		t.Fatal(err)
+	}
+	dirty := pc.price(0, gpu.V100) // cache now holds the fully-utilized price
+	if dirty <= clean {
+		t.Fatalf("fully-utilized price %v not above clean price %v", dirty, clean)
+	}
+	st.Rollback(sp)
+	fillsBefore := pc.fills
+	got := pc.price(0, gpu.V100)
+	if got != clean {
+		t.Errorf("post-rollback price = %v, want clean price %v (stale read of %v?)", got, clean, dirty)
+	}
+	if pc.fills != fillsBefore+1 {
+		t.Errorf("post-rollback lookup did %d fills, want exactly 1: the rollback must dirty the cell",
+			pc.fills-fillsBefore)
+	}
+	if want := pt.price(st, 0, gpu.V100); got != want {
+		t.Errorf("post-rollback cached price %v != direct %v", got, want)
+	}
+}
+
+// TestPriceCacheBindResets verifies rebinding drops every cached value,
+// including when the new state is a different object with identical
+// contents (a fresh scheduling pass must never see the old pass's
+// prices).
+func TestPriceCacheBindResets(t *testing.T) {
+	pt, st, pc := cacheFixture(t)
+	_ = pc.price(0, gpu.V100)
+	_ = pc.price(1, gpu.P100)
+	if pc.fills != 2 {
+		t.Fatalf("fills = %d, want 2", pc.fills)
+	}
+	pc.bind(pt, cluster.NewState(st.Cluster()))
+	if got := pc.price(0, gpu.V100); got != pt.price(st, 0, gpu.V100) {
+		t.Errorf("rebound cache returned %v, want fresh price", got)
+	}
+	if pc.fills != 3 {
+		t.Errorf("lookup after rebind did not refill (fills = %d, want 3)", pc.fills)
+	}
+}
+
+// TestPriceCacheInfiniteForAbsentType pins the +Inf convention for
+// (node, type) cells with zero capacity flowing through the cache.
+func TestPriceCacheInfiniteForAbsentType(t *testing.T) {
+	_, _, pc := cacheFixture(t)
+	// Node 0 of heteroCluster has only V100s.
+	if got := pc.price(0, gpu.K80); !math.IsInf(got, 1) {
+		t.Errorf("price of absent type = %v, want +Inf", got)
+	}
+}

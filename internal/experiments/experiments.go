@@ -54,6 +54,19 @@ func ScaledSimCluster(perType int) *cluster.Cluster {
 	return cluster.New(fleets...)
 }
 
+// ScaleCluster returns a cluster with exactly `nodes` nodes of 4 GPUs
+// each, cycling the paper's V100/P100/K80 type mix node by node. Unlike
+// ScaledSimCluster (which scales GPUs per type), this fixes the node
+// count, so node-count scalability sweeps hit round numbers.
+func ScaleCluster(nodes int) *cluster.Cluster {
+	mix := []gpu.Type{gpu.V100, gpu.P100, gpu.K80}
+	fleets := make([]gpu.Fleet, nodes)
+	for i := range fleets {
+		fleets[i] = gpu.Fleet{mix[i%len(mix)]: 4}
+	}
+	return cluster.New(fleets...)
+}
+
 // PhysicalCluster returns the paper's AWS prototype: 8 instances with
 // one GPU each — two T4 (g4dn), two K520 (g2dn), two K80 (p2), two V100
 // (p3).

@@ -253,6 +253,7 @@ func (f *Fig6Result) String() string {
 // Fig7Point is one x-value of the scalability experiment.
 type Fig7Point struct {
 	Jobs         int
+	Nodes        int
 	GPUs         int
 	HadarLatency time.Duration
 	GavelLatency time.Duration
@@ -292,7 +293,7 @@ func Fig7(seed int64, maxJobs int) (*Fig7Result, error) {
 			Now: 0, Round: 0, RoundLength: checkpoint.RoundSeconds,
 			Horizon: 1e7, Cluster: c, Jobs: states,
 		}
-		point := Fig7Point{Jobs: jobs, GPUs: c.TotalGPUs()}
+		point := Fig7Point{Jobs: jobs, Nodes: c.NumNodes(), GPUs: c.TotalGPUs()}
 		point.HadarLatency = timeDecision(NewHadar(), ctx)
 		point.GavelLatency = timeDecision(NewGavel(), ctx)
 		res.Points = append(res.Points, point)

@@ -82,13 +82,19 @@ func Jobs(w io.Writer, name string, r *metrics.Report) error {
 	return writeAll(w, rows)
 }
 
-// Fig7 writes the scalability sweep: jobs, gpus, hadar_latency_us,
-// gavel_latency_us.
+// Fig7Header is the unified schema of the scalability CSV. Two
+// producers share the file: this exporter (the paper's job-count sweep,
+// series "jobs-sweep") and cmd/benchjson's -scale-csv flag (the
+// node-count benchmark sweeps, series "nodes-prop" / "nodes-fixed").
+// The gavel column is empty for benchmark series, which time Hadar only.
+var Fig7Header = []string{"series", "nodes", "gpus", "jobs", "hadar_latency_us", "gavel_latency_us"}
+
+// Fig7 writes the job-count scalability sweep under the unified schema.
 func Fig7(w io.Writer, r *experiments.Fig7Result) error {
-	rows := [][]string{{"jobs", "gpus", "hadar_latency_us", "gavel_latency_us"}}
+	rows := [][]string{Fig7Header}
 	for _, p := range r.Points {
 		rows = append(rows, []string{
-			strconv.Itoa(p.Jobs), strconv.Itoa(p.GPUs),
+			"jobs-sweep", strconv.Itoa(p.Nodes), strconv.Itoa(p.GPUs), strconv.Itoa(p.Jobs),
 			f(float64(p.HadarLatency.Microseconds())),
 			f(float64(p.GavelLatency.Microseconds())),
 		})

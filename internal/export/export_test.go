@@ -98,14 +98,20 @@ func TestJobsCSV(t *testing.T) {
 func TestFig7CSV(t *testing.T) {
 	var buf bytes.Buffer
 	r := &experiments.Fig7Result{Points: []experiments.Fig7Point{
-		{Jobs: 32, GPUs: 12, HadarLatency: 50 * time.Microsecond, GavelLatency: 80 * time.Microsecond},
+		{Jobs: 32, Nodes: 3, GPUs: 12, HadarLatency: 50 * time.Microsecond, GavelLatency: 80 * time.Microsecond},
 	}}
 	if err := Fig7(&buf, r); err != nil {
 		t.Fatal(err)
 	}
 	rows := parseCSV(t, &buf)
-	if len(rows) != 2 || rows[1][0] != "32" || rows[1][2] != "50" {
-		t.Errorf("Fig7 rows = %v", rows)
+	if len(rows) != 2 {
+		t.Fatalf("Fig7 rows = %v", rows)
+	}
+	want := []string{"jobs-sweep", "3", "12", "32", "50", "80"}
+	for i, v := range want {
+		if rows[1][i] != v {
+			t.Errorf("Fig7 row col %d = %q, want %q (row %v)", i, rows[1][i], v, rows[1])
+		}
 	}
 }
 

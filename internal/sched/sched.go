@@ -7,7 +7,6 @@ package sched
 import (
 	"fmt"
 	"math"
-	"sort"
 
 	"repro/internal/cluster"
 	"repro/internal/gpu"
@@ -124,20 +123,17 @@ func Validate(j *job.Job, a cluster.Alloc) error {
 
 // consolidate appends placements for up to need devices of type t onto
 // out in consolidation order — most free devices first, ties by lower
-// node ID — and returns the extended allocation plus the unmet need. It
-// scans through the state's shared scratch buffer, so a round's
-// placements do one buffer allocation total.
+// node ID — and returns the extended allocation plus the unmet need.
+// The state's bucket index already maintains that order, so the scan
+// needs no sort and touches at most need nodes (every listed node
+// contributes at least one device). It runs through the state's shared
+// scratch buffer, so a round's placements do one buffer allocation
+// total.
 func consolidate(st *cluster.State, t gpu.Type, need int, out cluster.Alloc) (cluster.Alloc, int) {
 	if need == 0 {
 		return out, 0
 	}
-	nodes := st.FreeNodes(t, st.Scratch())
-	sort.Slice(nodes, func(i, j int) bool {
-		if nodes[i].Free != nodes[j].Free {
-			return nodes[i].Free > nodes[j].Free
-		}
-		return nodes[i].Node < nodes[j].Node
-	})
+	nodes := st.AppendFreeNodesByFreeDesc(t, need, st.Scratch())
 	for _, n := range nodes {
 		take := n.Free
 		if take > need {
@@ -217,14 +213,27 @@ func AllocAnyType(st *cluster.State, prefer []gpu.Type, w int) (cluster.Alloc, b
 // UsableTypes returns the job's usable accelerator types sorted by
 // descending throughput (ties by ascending type).
 func UsableTypes(j *job.Job) []gpu.Type {
-	var out []gpu.Type
+	return AppendUsableTypes(nil, j)
+}
+
+// AppendUsableTypes appends j's usable accelerator types in descending
+// throughput order (ties by ascending type) onto buf and returns the
+// extended slice: UsableTypes without the per-call allocation, for
+// callers carving per-job type lists out of one reused arena. The
+// insertion sort swaps only on strictly greater speed, so equal-speed
+// types keep their ascending-type scan order.
+func AppendUsableTypes(buf []gpu.Type, j *job.Job) []gpu.Type {
+	mark := len(buf)
 	for t := gpu.Type(0); t < gpu.NumTypes; t++ {
 		if j.Speed(t) > 0 {
-			out = append(out, t)
+			buf = append(buf, t)
 		}
 	}
-	sort.SliceStable(out, func(a, b int) bool {
-		return j.Speed(out[a]) > j.Speed(out[b])
-	})
-	return out
+	out := buf[mark:]
+	for i := 1; i < len(out); i++ {
+		for k := i; k > 0 && j.Speed(out[k]) > j.Speed(out[k-1]); k-- {
+			out[k], out[k-1] = out[k-1], out[k]
+		}
+	}
+	return buf
 }

@@ -434,7 +434,12 @@ func (e *Engine) runRound() error {
 		changed bool
 	}
 	applied := make([]appliedJob, 0, len(e.active))
-	nodeCheckpoints := map[int]int{}
+	var nodeCheckpoints map[int]int
+	if e.opts.CheckpointContention {
+		// Only allocated when contention modeling is on: the common
+		// no-contention round never touches the map.
+		nodeCheckpoints = map[int]int{}
+	}
 	for _, st := range e.active {
 		newAlloc := decisions[st.Job.ID].Canonical()
 		prev := st.Alloc

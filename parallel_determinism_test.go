@@ -1,0 +1,130 @@
+package repro
+
+import (
+	"runtime"
+	"sort"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// hadarDigestChain drives the seed trace through a hadar scheduler built
+// with opts, stepping the engine event by event and recording the
+// engine's decision digest after every round, so two runs can be
+// compared round for round rather than only at the end.
+func hadarDigestChain(t *testing.T, opts core.Options, numJobs int) []uint64 {
+	t.Helper()
+	cfg := trace.DefaultConfig()
+	cfg.NumJobs = numJobs
+	jobs, err := trace.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sort.Slice(jobs, func(i, k int) bool {
+		if jobs[i].Arrival != jobs[k].Arrival {
+			return jobs[i].Arrival < jobs[k].Arrival
+		}
+		return jobs[i].ID < jobs[k].ID
+	})
+	eng, err := sim.NewEngine(experiments.SimCluster(), core.New(opts), sim.ValidatedOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, j := range jobs {
+		if err := eng.SubmitJob(j); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var chain []uint64
+	last := eng.Digest()
+	for eng.HasPendingEvents() {
+		if err := eng.ProcessNextEvent(); err != nil {
+			t.Fatal(err)
+		}
+		if d := eng.Digest(); d != last {
+			chain = append(chain, d)
+			last = d
+		}
+	}
+	if _, err := eng.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	return chain
+}
+
+// TestParallelDPDigestChains is the end-to-end guarantee behind the
+// sharded DP: the full seed-trace simulation produces a byte-identical
+// per-round digest chain whether the DP runs sequentially or fans out
+// across 2, 8, or GOMAXPROCS workers. DPJobLimit is raised so whole
+// queues flow through the DP (the default limit routes large queues to
+// the greedy path, which never shards), making this a direct exercise of
+// the expand/fan-out/fold machinery on realistic round states. Run under
+// -race via `make race`, this also proves the workers share nothing
+// mutable.
+func TestParallelDPDigestChains(t *testing.T) {
+	core.PanicOnInconsistency = true
+	numJobs := 96
+	if testing.Short() {
+		numJobs = 48
+	}
+	mkOpts := func(workers int) core.Options {
+		o := core.DefaultOptions()
+		o.DPJobLimit = 20
+		o.DPWorkers = workers
+		return o
+	}
+	baseline := hadarDigestChain(t, mkOpts(1), numJobs)
+	if len(baseline) == 0 {
+		t.Fatal("sequential run produced no round digests")
+	}
+	for _, w := range []int{2, 8, runtime.GOMAXPROCS(0)} {
+		if w <= 1 {
+			continue
+		}
+		chain := hadarDigestChain(t, mkOpts(w), numJobs)
+		if len(chain) != len(baseline) {
+			t.Fatalf("workers=%d produced %d round digests, sequential %d",
+				w, len(chain), len(baseline))
+		}
+		for i := range chain {
+			if chain[i] != baseline[i] {
+				t.Fatalf("workers=%d digest chain diverges at round-digest %d: %#x vs %#x",
+					w, i, chain[i], baseline[i])
+			}
+		}
+	}
+}
+
+// TestParallelDPMatchesGoldenDigest pins the parallel path against the
+// committed golden schedule: hadar with default options plus an explicit
+// worker fan-out must reproduce the exact golden digest the sequential
+// scheduler is pinned to in goldenDigests. Any divergence between the
+// sharded and sequential searches fails here against a cross-commit
+// constant, not just against a same-process baseline.
+func TestParallelDPMatchesGoldenDigest(t *testing.T) {
+	core.PanicOnInconsistency = true
+	if testing.Short() {
+		t.Skip("golden digest is pinned for the full 96-job short trace; skip under -short")
+	}
+	numJobs := 96
+	opts := core.DefaultOptions()
+	opts.DPWorkers = 8
+	cfg := trace.DefaultConfig()
+	cfg.NumJobs = numJobs
+	jobs, err := trace.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := newDigestRecorder(core.New(opts))
+	if _, err := sim.Run(experiments.SimCluster(), jobs, rec, sim.ValidatedOptions()); err != nil {
+		t.Fatal(err)
+	}
+	want := goldenDigests["hadar"][numJobs]
+	if rec.sum != want {
+		t.Errorf("parallel hadar digest %#x, golden %#x — the sharded DP changed the schedule",
+			rec.sum, want)
+	}
+}
