@@ -10,7 +10,7 @@
 
 GO ?= go
 
-.PHONY: check build vet lint test race stress bench-smoke bench profile service-smoke experiments chaos crash-smoke crash-chaos fuzz-smoke cover
+.PHONY: check build vet lint test race race-short stress bench-smoke bench profile service-smoke fed-smoke experiments chaos crash-smoke crash-chaos fuzz-smoke cover
 
 check: build vet lint test cover
 
@@ -34,6 +34,14 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# race-short runs the concurrent control plane — scheduler service,
+# federation (shared clock + copy-on-publish snapshots), web API, load
+# generator, live RPC cluster — under the race detector in short mode.
+# The quick local gate before touching any of those packages; `race` is
+# the full-suite version CI runs.
+race-short:
+	$(GO) test -race -short ./internal/federation ./internal/service ./internal/web ./internal/loadgen ./internal/rpccluster
 
 # stress re-runs the live control plane's suite several times under the
 # race detector: the heartbeat/reconnect/chaos paths are the only truly
@@ -59,14 +67,15 @@ bench-smoke:
 
 # bench takes real measurements of the scheduling hot path — the DP
 # round, the greedy round, the full 480-job simulation, a single engine
-# step, and the node-count scalability sweep (60/250/1k/5k nodes,
+# step, the federation step (1/4/16 members), and the node-count
+# scalability sweep (60/250/1k/5k nodes,
 # proportional and fixed-backlog job series) — and records them as
 # BENCH_sim.json (op, ns/op, allocs/op) via cmd/benchjson for machine
 # comparison across commits. The ScaleRound points are also merged into
 # results/fig7_scalability.csv alongside the exporter's jobs-sweep
 # series.
 bench:
-	$(GO) test -run='^$$' -bench='BenchmarkDPAllocate$$|BenchmarkGreedyAllocate$$|BenchmarkSimulate480Jobs$$|BenchmarkEngineStep$$|BenchmarkScaleRound' -benchmem . \
+	$(GO) test -run='^$$' -bench='BenchmarkDPAllocate$$|BenchmarkGreedyAllocate$$|BenchmarkSimulate480Jobs$$|BenchmarkEngineStep$$|BenchmarkFederationStep$$|BenchmarkScaleRound' -benchmem . \
 		| $(GO) run ./cmd/benchjson -o BENCH_sim.json -scale-csv results/fig7_scalability.csv
 
 # profile captures CPU, heap, and execution-trace profiles of a
@@ -84,6 +93,14 @@ profile:
 # violations inside the budget.
 service-smoke:
 	$(GO) run -race ./cmd/hadard -smoke -smoke-jobs 80 -smoke-model bursty -smoke-seed 1 -smoke-timeout 120s
+
+# fed-smoke is the federated twin of service-smoke: hadard boots three
+# member clusters behind the least-queue router, loadgen drives the same
+# closed-loop bursty workload through the shared front door, and the run
+# fails unless every accepted job completes across the members with
+# federation invariants (single ownership, iteration conservation) clean.
+fed-smoke:
+	$(GO) run -race ./cmd/hadard -clusters 3 -router least-queue -smoke -smoke-jobs 60 -smoke-model bursty -smoke-seed 1 -smoke-timeout 180s
 
 # fuzz-smoke gives every fuzz target a short budget. Go fuzzes one
 # target per invocation, so each gets its own run; FUZZTIME=2m for a

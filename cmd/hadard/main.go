@@ -7,8 +7,16 @@
 //	hadard [-scheduler hadar] [-cluster sim|physical] [-addr :8080]
 //	       [-clock virtual|wall] [-interval 50ms] [-queue 64]
 //	       [-round 6] [-validate=true]
+//	       [-clusters N] [-router round-robin|least-queue|affinity|price]
 //	       [-wal DIR] [-recover] [-fsync always|group|off]
 //	       [-fsync-interval 2ms] [-checkpoint-every 256]
+//
+// With -clusters N (N > 1) the daemon runs a federation: N independent
+// member clusters, each with its own scheduler instance, advanced on
+// one shared clock, with the -router policy picking the owning member
+// for every submission at the front door. The same HTTP surface is
+// served; job queries additionally report the owning member. -wal is
+// single-cluster only.
 //
 // The HTTP surface combines the dashboard (/, /jobs, /api/summary)
 // with the live control API:
@@ -50,12 +58,14 @@ import (
 	"os"
 	"os/signal"
 	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
 	"repro/internal/allox"
 	"repro/internal/cluster"
 	"repro/internal/experiments"
+	"repro/internal/federation"
 	"repro/internal/loadgen"
 	"repro/internal/policy"
 	"repro/internal/sched"
@@ -77,6 +87,9 @@ func main() {
 		validate   = flag.Bool("validate", true, "run the invariant oracle on every round")
 		addrFile   = flag.String("addr-file", "", "write the bound listen address to this file (use with -addr 127.0.0.1:0)")
 		drainWait  = flag.Duration("drain", 5*time.Second, "graceful-shutdown deadline for in-flight HTTP requests")
+
+		clusters  = flag.Int("clusters", 1, "number of federated member clusters (1 = single-cluster mode)")
+		routerSel = flag.String("router", "least-queue", "federation routing policy: round-robin, least-queue, affinity, price")
 
 		walDir     = flag.String("wal", "", "write-ahead journal directory (empty = no durability)")
 		recoverWAL = flag.Bool("recover", false, "resume from the journal and checkpoint in -wal")
@@ -122,6 +135,14 @@ func main() {
 		fmt.Fprintln(os.Stderr, "hadard: -recover requires -wal")
 		os.Exit(2)
 	}
+	if *clusters < 1 {
+		fmt.Fprintf(os.Stderr, "hadard: -clusters must be at least 1, got %d\n", *clusters)
+		os.Exit(2)
+	}
+	if *clusters > 1 && *walDir != "" {
+		fmt.Fprintln(os.Stderr, "hadard: -wal is not supported with -clusters > 1 (the journal covers a single engine)")
+		os.Exit(2)
+	}
 	if *walDir != "" {
 		pol, err := wal.ParsePolicy(*fsyncSel)
 		if err != nil {
@@ -138,19 +159,80 @@ func main() {
 		}
 	}
 
-	svc, err := service.New(c, s, opts)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "hadard: %v\n", err)
-		os.Exit(1)
+	// Build either the single-engine service or the federated front
+	// door; everything past this point (smoke, HTTP serving, graceful
+	// shutdown) is mode-agnostic.
+	var (
+		handler http.Handler
+		stopSvc func() error
+		smokeFn func() int
+		banner  string
+	)
+	if *clusters > 1 {
+		router, err := federation.NewRouter(*routerSel)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "hadard: %v\n", err)
+			os.Exit(2)
+		}
+		members := make([]federation.MemberConfig, *clusters)
+		for i := range members {
+			mc, err := pickCluster(*clusterSel)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "hadard: %v\n", err)
+				os.Exit(2)
+			}
+			ms, err := pickScheduler(*schedName)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "hadard: %v\n", err)
+				os.Exit(2)
+			}
+			members[i] = federation.MemberConfig{
+				Name:      fmt.Sprintf("region%d", i),
+				Cluster:   mc,
+				Scheduler: ms,
+				Sim:       simOpts,
+			}
+		}
+		fsvc, err := service.NewFed(members, router, service.FedOptions{
+			Federation:    federation.Options{Validate: *validate},
+			QueueDepth:    *queue,
+			Clock:         opts.Clock,
+			RoundInterval: *interval,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "hadard: %v\n", err)
+			os.Exit(1)
+		}
+		fsvc.Start()
+		handler = web.NewFedServer(fsvc).Handler()
+		stopSvc = func() error { _, err := fsvc.Stop(); return err }
+		smokeFn = func() int {
+			return runFedSmoke(fsvc, *smokeJobs, *smokeModel, *smokeRate, *smokeSeed, *smokeTimeout)
+		}
+		banner = fmt.Sprintf("hadard: %s federation — %d x %s clusters (%d GPUs total), %s router, %s clock, queue depth %d",
+			s.Name(), *clusters, *clusterSel, *clusters*c.TotalGPUs(), router.Name(), *clockSel, *queue)
+	} else {
+		svc, err := service.New(c, s, opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "hadard: %v\n", err)
+			os.Exit(1)
+		}
+		if r := svc.Recovery(); r != nil {
+			doc, _ := json.Marshal(r)
+			fmt.Printf("hadard: recovered: %s\n", doc)
+		}
+		svc.Start()
+		handler = web.NewLiveServer(svc).Handler()
+		stopSvc = func() error { _, err := svc.Stop(); return err }
+		smokeFn = func() int {
+			return runSmoke(svc, *smokeJobs, *smokeModel, *smokeRate, *smokeSeed, *smokeTimeout)
+		}
+		banner = fmt.Sprintf("hadard: %s on %s cluster (%d GPUs), %s clock, queue depth %d",
+			s.Name(), *clusterSel, c.TotalGPUs(), *clockSel, *queue)
 	}
-	if r := svc.Recovery(); r != nil {
-		doc, _ := json.Marshal(r)
-		fmt.Printf("hadard: recovered: %s\n", doc)
-	}
-	svc.Start()
 
 	if *smoke {
-		os.Exit(runSmoke(svc, *smokeJobs, *smokeModel, *smokeRate, *smokeSeed, *smokeTimeout))
+		os.Exit(smokeFn())
 	}
 
 	ln, err := net.Listen("tcp", *addr)
@@ -164,10 +246,9 @@ func main() {
 			os.Exit(1)
 		}
 	}
-	fmt.Printf("hadard: %s on %s cluster (%d GPUs), %s clock, queue depth %d — listening on %s\n",
-		s.Name(), *clusterSel, c.TotalGPUs(), *clockSel, *queue, ln.Addr())
+	fmt.Printf("%s — listening on %s\n", banner, ln.Addr())
 
-	srv := &http.Server{Handler: web.NewLiveServer(svc).Handler()}
+	srv := &http.Server{Handler: handler}
 	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stopSignals()
 	serveErr := make(chan error, 1)
@@ -190,11 +271,11 @@ func main() {
 	if err := srv.Shutdown(drainCtx); err != nil {
 		fmt.Fprintf(os.Stderr, "hadard: http drain: %v\n", err)
 	}
-	if _, err := svc.Stop(); err != nil {
+	if err := stopSvc(); err != nil {
 		fmt.Fprintf(os.Stderr, "hadard: stop: %v\n", err)
 		os.Exit(1)
 	}
-	fmt.Println("hadard: clean shutdown (journal flushed, checkpoint written)")
+	fmt.Println("hadard: clean shutdown")
 }
 
 // crashFailPoint arms the chaos harness's mid-append kill. When
@@ -354,5 +435,95 @@ func runSmoke(svc *service.Service, jobs int, modelName string, rate float64, se
 	}
 	fmt.Printf("hadard: smoke OK: %d jobs accepted, %d completed, %d rounds, 0 invariant violations\n",
 		res.Submitted, snap.Completed, svc.Stats().Rounds)
+	return 0
+}
+
+// runFedSmoke is runSmoke against the federated front door: the same
+// seeded workload drives the router and the shared-clock loop, waits
+// for every accepted job to reach a terminal phase on its owning
+// member, and fails on any member-level or federation-level invariant
+// violation.
+func runFedSmoke(svc *service.FedService, jobs int, modelName string, rate float64, seed int64, budget time.Duration) int {
+	var model loadgen.Model
+	switch modelName {
+	case "poisson":
+		model = loadgen.Poisson
+	case "diurnal":
+		model = loadgen.Diurnal
+	case "bursty":
+		model = loadgen.Bursty
+	default:
+		fmt.Fprintf(os.Stderr, "hadard: unknown smoke model %q\n", modelName)
+		return 2
+	}
+	cfg := loadgen.Config{
+		Model:     model,
+		Jobs:      jobs,
+		Seed:      seed,
+		Rate:      rate,
+		Amplitude: 0.5,
+		BurstSize: 16,
+		BurstGap:  3600,
+	}
+	trace, err := loadgen.Generate(cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "hadard: smoke: %v\n", err)
+		return 1
+	}
+	start := time.Now()
+	res, err := loadgen.Drive(svc, trace, loadgen.DriveOptions{MaxDuration: budget})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "hadard: smoke: drive failed: %v\n", err)
+		return 1
+	}
+
+	deadline := start.Add(budget)
+	for {
+		snap := svc.Snapshot()
+		if snap.Completed+snap.Cancelled >= res.Submitted {
+			break
+		}
+		if time.Now().After(deadline) {
+			fmt.Fprintf(os.Stderr, "hadard: smoke: %d of %d jobs unfinished after %v\n",
+				res.Submitted-snap.Completed-snap.Cancelled, res.Submitted, budget)
+			return 1
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	report, err := svc.Stop()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "hadard: smoke: invariant violation or member failure: %v\n", err)
+		return 1
+	}
+	if res.Submitted == 0 {
+		fmt.Fprintln(os.Stderr, "hadard: smoke: zero accepted submissions")
+		return 1
+	}
+
+	snap := svc.Snapshot()
+	out := smokeReport{
+		Scheduler:   report.Merged.Scheduler,
+		Model:       model.String(),
+		Drive:       res,
+		SubmitRate:  res.PerSecond(),
+		Stats:       svc.Stats(),
+		Completed:   snap.Completed,
+		SimSeconds:  snap.Now,
+		WallSeconds: time.Since(start).Seconds(),
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		fmt.Fprintf(os.Stderr, "hadard: smoke: %v\n", err)
+		return 1
+	}
+	perMember := make([]string, 0, len(snap.Members))
+	for i := range snap.Members {
+		perMember = append(perMember,
+			fmt.Sprintf("%s=%d", snap.Members[i].Name, snap.Members[i].Snap.Completed))
+	}
+	fmt.Printf("hadard: fed-smoke OK: %d jobs accepted, %d completed (%s), %d boundaries, 0 invariant violations\n",
+		res.Submitted, snap.Completed, strings.Join(perMember, " "), svc.Stats().Rounds)
 	return 0
 }

@@ -139,6 +139,38 @@ func TestFig8And9CSV(t *testing.T) {
 	}
 }
 
+func TestFedCompareCSV(t *testing.T) {
+	var buf bytes.Buffer
+	cmp := sampleComparison()
+	r := &experiments.FedCompareResult{
+		Members: 2,
+		Jobs:    2,
+		Series: []experiments.FedSeries{
+			{Series: "mega-cluster", Members: 2, Report: cmp.Reports["hadar"]},
+			{Series: "federation/least-queue", Members: 2, Report: cmp.Reports["gavel"]},
+		},
+	}
+	if err := FedCompare(&buf, r); err != nil {
+		t.Fatal(err)
+	}
+	rows := parseCSV(t, &buf)
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d, want header + 2 series", len(rows))
+	}
+	wantHeader := []string{"series", "members", "jobs", "avg_jct_s", "median_jct_s", "makespan_s", "utilization", "completed"}
+	for i, col := range wantHeader {
+		if rows[0][i] != col {
+			t.Errorf("header col %d = %q, want %q", i, rows[0][i], col)
+		}
+	}
+	if rows[1][0] != "mega-cluster" || rows[2][0] != "federation/least-queue" {
+		t.Errorf("series order = %v %v", rows[1][0], rows[2][0])
+	}
+	if rows[1][1] != "2" || rows[1][7] != "2" {
+		t.Errorf("mega row = %v", rows[1])
+	}
+}
+
 func TestOccupancySeriesCSV(t *testing.T) {
 	var buf bytes.Buffer
 	cmp := sampleComparison()

@@ -1,0 +1,258 @@
+package federation
+
+import (
+	"fmt"
+
+	"repro/internal/gpu"
+	"repro/internal/invariant"
+	"repro/internal/job"
+	"repro/internal/sched"
+)
+
+// View is the routing-relevant state of one member at submission time.
+// Views are built per job: capacity fields are restricted to the job's
+// usable accelerator types, so a router never places a job on capacity
+// the job cannot run on.
+type View struct {
+	// Index is the member's index in the federation; Name its label.
+	Index int
+	Name  string
+	// TotalGPUs is the member's whole fleet; UpGPUs the devices on
+	// nodes not currently inside a failure window.
+	TotalGPUs int
+	UpGPUs    int
+	// QueueDepth is the member's pending + active job count — the
+	// backlog an arriving job queues behind.
+	QueueDepth int
+	// UsableTotal counts devices of the job's usable types across all
+	// nodes; UsableUp restricts that to up nodes; BestUp further
+	// restricts to the job's fastest usable type.
+	UsableTotal int
+	UsableUp    int
+	BestUp      int
+	// Price is the member's cheapest current marginal dual price
+	// across the job's usable types, evaluated at the member's present
+	// utilization. HasPrice is false when the member's scheduler does
+	// not expose prices (no invariant.PriceReporter).
+	Price    float64
+	HasPrice bool
+	// Eligible means the member could ever place the job (enough
+	// usable devices exist); Healthy means it could place it on nodes
+	// that are up right now. The federation only shows routers
+	// eligible views, preferring healthy ones.
+	Eligible bool
+	Healthy  bool
+}
+
+// view builds the member's routing view for one job at the shared
+// clock's current time.
+func (m *member) view(idx int, j *job.Job, now float64) View {
+	v := View{
+		Index:      idx,
+		Name:       m.name,
+		TotalGPUs:  m.cfg.Cluster.TotalGPUs(),
+		QueueDepth: m.eng.PendingJobs() + m.eng.ActiveJobs(),
+	}
+	down := m.downNodes(now)
+	usable := sched.UsableTypes(j)
+	best, _, hasBest := j.BestType()
+	for _, n := range m.cfg.Cluster.Nodes() {
+		nodeUp := !down[n.ID]
+		for t := gpu.Type(0); t < gpu.NumTypes; t++ {
+			c := n.Capacity[t]
+			if c == 0 {
+				continue
+			}
+			if nodeUp {
+				v.UpGPUs += c
+			}
+			for _, ut := range usable {
+				if ut != t {
+					continue
+				}
+				v.UsableTotal += c
+				if nodeUp {
+					v.UsableUp += c
+					if hasBest && t == best {
+						v.BestUp += c
+					}
+				}
+			}
+		}
+	}
+	v.Eligible = v.UsableTotal >= j.Workers
+	v.Healthy = v.UsableUp >= j.Workers
+	if pr, ok := m.cfg.Scheduler.(invariant.PriceReporter); ok {
+		util := 0.0
+		if v.TotalGPUs > 0 {
+			util = float64(m.eng.HeldGPUs()) / float64(v.TotalGPUs)
+		}
+		for i, t := range usable {
+			p := pr.PriceAt(t, util)
+			if i == 0 || p < v.Price {
+				v.Price = p
+			}
+		}
+		v.HasPrice = len(usable) > 0
+	}
+	return v
+}
+
+// downNodes evaluates the member's configured failure windows at the
+// given instant, mirroring the engine's scheduler-visible outage view
+// (a node is down when a window covers [now, now+epsilon)).
+func (m *member) downNodes(now float64) map[int]bool {
+	var down map[int]bool
+	for _, fail := range m.cfg.Sim.Failures {
+		if fail.Start < now+1e-9 && fail.End > now {
+			if down == nil {
+				down = make(map[int]bool)
+			}
+			down[fail.Node] = true
+		}
+	}
+	return down
+}
+
+// Router picks the member that will own a job. Route receives only
+// eligible views (healthy ones when any exist) and must return the
+// Index field of one of them. Implementations must be deterministic:
+// the same job against the same views always yields the same pick.
+type Router interface {
+	// Name identifies the policy in snapshots and CLI flags.
+	Name() string
+	// Route picks a member for the job from the candidate views. The
+	// views slice is ordered by member index and never empty.
+	Route(j *job.Job, views []View) int
+}
+
+// RouterNames lists the built-in policies accepted by NewRouter, in
+// documentation order.
+func RouterNames() []string {
+	return []string{"round-robin", "least-queue", "affinity", "price"}
+}
+
+// NewRouter builds a built-in router by name ("round-robin" or "rr",
+// "least-queue" or "queue", "affinity", "price").
+func NewRouter(name string) (Router, error) {
+	switch name {
+	case "round-robin", "rr":
+		return &RoundRobin{}, nil
+	case "least-queue", "queue":
+		return LeastQueue{}, nil
+	case "affinity":
+		return Affinity{}, nil
+	case "price":
+		return PriceAware{}, nil
+	}
+	return nil, fmt.Errorf("federation: unknown router %q (have %v)", name, RouterNames())
+}
+
+// RoundRobin cycles through the members, skipping ineligible ones: the
+// chosen member is the first candidate at or after the rotating
+// cursor. With every member eligible it degenerates to strict
+// round-robin.
+type RoundRobin struct {
+	next int
+}
+
+// Name implements Router.
+func (r *RoundRobin) Name() string { return "round-robin" }
+
+// Route implements Router.
+func (r *RoundRobin) Route(j *job.Job, views []View) int {
+	pick := views[0]
+	found := false
+	for _, v := range views {
+		if v.Index >= r.next {
+			pick = v
+			found = true
+			break
+		}
+	}
+	if !found {
+		pick = views[0] // wrap around
+	}
+	r.next = pick.Index + 1
+	return pick.Index
+}
+
+// LeastQueue routes to the member with the shallowest backlog
+// (pending + active jobs), ties broken by lowest member index.
+type LeastQueue struct{}
+
+// Name implements Router.
+func (LeastQueue) Name() string { return "least-queue" }
+
+// Route implements Router.
+func (LeastQueue) Route(j *job.Job, views []View) int {
+	pick := views[0]
+	for _, v := range views[1:] {
+		if v.QueueDepth < pick.QueueDepth {
+			pick = v
+		}
+	}
+	return pick.Index
+}
+
+// Affinity routes to the member holding the most up devices of the
+// job's fastest usable accelerator type — the locality policy: put the
+// job where its preferred heterogeneous capacity sits. Ties break by
+// shallower queue, then lowest index.
+type Affinity struct{}
+
+// Name implements Router.
+func (Affinity) Name() string { return "affinity" }
+
+// Route implements Router.
+func (Affinity) Route(j *job.Job, views []View) int {
+	pick := views[0]
+	for _, v := range views[1:] {
+		if v.BestUp > pick.BestUp ||
+			(v.BestUp == pick.BestUp && v.QueueDepth < pick.QueueDepth) {
+			pick = v
+		}
+	}
+	return pick.Index
+}
+
+// PriceAware routes to the member quoting the cheapest marginal dual
+// price for the job's usable types — the OASiS-style policy: a low
+// price signals slack capacity, a price near U_max signals contention.
+// Members without a PriceReporter (or before their first round) rank
+// by queue depth behind every priced member; ties break by shallower
+// queue, then lowest index.
+type PriceAware struct{}
+
+// Name implements Router.
+func (PriceAware) Name() string { return "price" }
+
+// Route implements Router.
+func (PriceAware) Route(j *job.Job, views []View) int {
+	pick := views[0]
+	for _, v := range views[1:] {
+		if better(v, pick) {
+			pick = v
+		}
+	}
+	return pick.Index
+}
+
+// better orders views for PriceAware: priced beats unpriced, then
+// strictly lower price, then shallower queue. Equal on all counts
+// keeps the earlier (lower-index) view, so the order is total,
+// deterministic, and built from ordered float comparisons only.
+func better(v, pick View) bool {
+	if v.HasPrice != pick.HasPrice {
+		return v.HasPrice
+	}
+	if v.HasPrice {
+		if v.Price < pick.Price {
+			return true
+		}
+		if v.Price > pick.Price {
+			return false
+		}
+	}
+	return v.QueueDepth < pick.QueueDepth
+}

@@ -137,6 +137,7 @@ var schedulerPath = []string{
 	"repro/internal/trace",
 	"repro/internal/eventq",
 	"repro/internal/cluster",
+	"repro/internal/federation",
 }
 
 // reportingPath lists packages whose *output* must be reproducible run

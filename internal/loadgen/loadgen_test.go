@@ -2,11 +2,13 @@ package loadgen
 
 import (
 	"errors"
+	"fmt"
 	"strconv"
 	"testing"
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/federation"
 	"repro/internal/job"
 	"repro/internal/policy"
 	"repro/internal/service"
@@ -223,6 +225,74 @@ func TestDriveAgainstLiveService(t *testing.T) {
 	}
 	if rate := res.PerSecond(); rate <= 0 {
 		t.Errorf("sustained rate = %v, want > 0", rate)
+	}
+}
+
+// TestDriveAgainstFederatedService drives the same closed loop against
+// the federated front door: the driver needs no changes (FedService
+// satisfies Target and KeyedTarget), the router spreads the burst
+// across members, and every accepted job completes on its owning
+// member with per-member completions summing to the total.
+func TestDriveAgainstFederatedService(t *testing.T) {
+	members := make([]federation.MemberConfig, 2)
+	for i := range members {
+		members[i] = federation.MemberConfig{
+			Name:      fmt.Sprintf("region%d", i),
+			Cluster:   experiments.SimCluster(),
+			Scheduler: policy.New(policy.SRTF, true),
+			Sim:       sim.ValidatedOptions(),
+		}
+	}
+	router, err := federation.NewRouter("least-queue")
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc, err := service.NewFed(members, router, service.FedOptions{
+		Federation: federation.Options{Validate: true},
+		QueueDepth: 8,
+		RetryAfter: time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc.Start()
+
+	jobs, err := Generate(Config{
+		Model: Bursty, Jobs: 48, Seed: 3, BurstSize: 24, BurstGap: 7200,
+		MinGPUHours: 0.2, MaxGPUHours: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Drive(svc, jobs, DriveOptions{MaxDuration: 30 * time.Second})
+	if err != nil {
+		t.Fatalf("drive: %v", err)
+	}
+	if res.Submitted != len(jobs) {
+		t.Fatalf("submitted %d of %d jobs", res.Submitted, len(jobs))
+	}
+
+	deadline := time.Now().Add(30 * time.Second)
+	for svc.Snapshot().Completed < res.Submitted {
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d of %d jobs completed in time", svc.Snapshot().Completed, res.Submitted)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	report, err := svc.Stop()
+	if err != nil {
+		t.Fatalf("oracle or federation failure: %v", err)
+	}
+	if len(report.Merged.Jobs) != res.Submitted {
+		t.Errorf("merged report has %d jobs, want %d", len(report.Merged.Jobs), res.Submitted)
+	}
+	snap := svc.Snapshot()
+	perMember := 0
+	for i := range snap.Members {
+		perMember += snap.Members[i].Snap.Completed
+	}
+	if perMember != snap.Completed {
+		t.Errorf("member completions sum to %d, federation says %d", perMember, snap.Completed)
 	}
 }
 

@@ -127,8 +127,10 @@ func TestServiceValidationErrorsReachCaller(t *testing.T) {
 func TestServiceCancelReflectedInSnapshot(t *testing.T) {
 	svc := newTestService(t, Options{})
 	svc.Start()
-	// A long job we cancel mid-run.
-	if err := svc.Submit(simpleJob(0, 2, 1e7)); err != nil {
+	// A job far too long to complete within the test: the virtual
+	// clock burns rounds in microseconds, so anything finite enough to
+	// finish can race past the poller's "active" observation window.
+	if err := svc.Submit(simpleJob(0, 2, 1e12)); err != nil {
 		t.Fatal(err)
 	}
 	waitFor(t, svc, "job 0 active", func(s *sim.Snapshot) bool { return s.Phases[0] == "active" })

@@ -695,6 +695,25 @@ func (e *Engine) Finish() (*metrics.Report, error) {
 // Now returns the engine's current simulated time in seconds.
 func (e *Engine) Now() float64 { return e.now }
 
+// ActiveJobs returns the number of admitted, unfinished jobs the
+// scheduler currently sees. Together with PendingJobs it is the
+// engine's queue depth, which inter-cluster routers read on every
+// submission — hence an O(1) accessor instead of a full Snapshot.
+func (e *Engine) ActiveJobs() int { return len(e.active) }
+
+// PendingJobs returns submitted jobs whose arrival event has not yet
+// been admitted at a round boundary.
+func (e *Engine) PendingJobs() int { return e.pendingArrivals }
+
+// HeldGPUs returns the number of devices held in the most recently
+// executed scheduling round (0 before the first round).
+func (e *Engine) HeldGPUs() int {
+	if n := len(e.report.RoundHeld); n > 0 {
+		return e.report.RoundHeld[n-1]
+	}
+	return 0
+}
+
 // Round returns the next round index (rounds consumed so far,
 // including idle fast-forwards).
 func (e *Engine) Round() int { return e.round }

@@ -1,0 +1,131 @@
+package web
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+
+	"repro/internal/federation"
+	"repro/internal/metrics"
+	"repro/internal/service"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// NewFedServer serves the dashboard plus the live control API for a
+// federated scheduler service: the Provider-backed pages render one
+// report per member, and the /api endpoints submit, cancel, and query
+// jobs through the federation's front door — the router picks the
+// owning member, and queries resolve against the merged FedSnapshot.
+func NewFedServer(svc *service.FedService) *Server {
+	s := NewServerFrom(svc)
+	api := &fedAPI{svc: svc}
+	s.mux.HandleFunc("GET /api/snapshot", api.handleSnapshot)
+	s.mux.HandleFunc("POST /api/jobs", api.handleSubmit)
+	s.mux.HandleFunc("GET /api/jobs/{id}", api.handleQuery)
+	s.mux.HandleFunc("DELETE /api/jobs/{id}", api.handleCancel)
+	return s
+}
+
+// fedAPI holds the federated mutating endpoints' shared state.
+type fedAPI struct {
+	svc *service.FedService
+}
+
+// fedSnapshotResponse is the federated /api/snapshot body: the merged
+// federation snapshot plus the front door's admission counters.
+type fedSnapshotResponse struct {
+	*federation.FedSnapshot
+	Stats service.Stats `json:"stats"`
+}
+
+func (a *fedAPI) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, fedSnapshotResponse{
+		FedSnapshot: a.svc.Snapshot(),
+		Stats:       a.svc.Stats(),
+	})
+}
+
+func (a *fedAPI) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var spec submitSpec
+	if err := json.NewDecoder(r.Body).Decode(&spec); err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": "bad request body: " + err.Error()})
+		return
+	}
+	model, ok := lookupModel(spec.Model)
+	if !ok {
+		writeJSON(w, http.StatusBadRequest, map[string]string{
+			"error": fmt.Sprintf("unknown model %q (see the workload catalog)", spec.Model)})
+		return
+	}
+	id := a.svc.NextID()
+	if spec.ID != nil {
+		id = *spec.ID
+	}
+	j, err := trace.FromDemand(id, model, spec.Workers, spec.GPUHours, 0)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+		return
+	}
+	if spec.Key != "" {
+		gotID, deduped, err := a.svc.SubmitKeyed(spec.Key, j)
+		if err != nil {
+			writeError(w, err, http.StatusConflict)
+			return
+		}
+		status := http.StatusAccepted
+		if deduped {
+			status = http.StatusOK
+		}
+		writeJSON(w, status, map[string]any{"id": gotID, "name": j.Name, "deduped": deduped})
+		return
+	}
+	if err := a.svc.Submit(j); err != nil {
+		writeError(w, err, http.StatusConflict)
+		return
+	}
+	// Report which member the router placed the job on: useful for
+	// debugging routing policies from the command line.
+	member := ""
+	if m, _, _, _, ok := a.svc.Snapshot().FindJob(id); ok {
+		member = m
+	}
+	writeJSON(w, http.StatusAccepted, map[string]any{"id": id, "name": j.Name, "member": member})
+}
+
+// fedQueryResponse is the federated GET /api/jobs/{id} body: the
+// owning member joins the usual phase and detail fields.
+type fedQueryResponse struct {
+	ID     int                `json:"id"`
+	Member string             `json:"member"`
+	Phase  string             `json:"phase"`
+	Job    *sim.JobSnapshot   `json:"job,omitempty"`
+	Result *metrics.JobResult `json:"result,omitempty"`
+}
+
+func (a *fedAPI) handleQuery(w http.ResponseWriter, r *http.Request) {
+	id, err := jobID(r)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": "bad job id: " + err.Error()})
+		return
+	}
+	member, phase, js, res, ok := a.svc.Snapshot().FindJob(id)
+	if !ok {
+		writeJSON(w, http.StatusNotFound, map[string]string{"error": fmt.Sprintf("unknown job %d", id)})
+		return
+	}
+	writeJSON(w, http.StatusOK, fedQueryResponse{ID: id, Member: member, Phase: phase, Job: js, Result: res})
+}
+
+func (a *fedAPI) handleCancel(w http.ResponseWriter, r *http.Request) {
+	id, err := jobID(r)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": "bad job id: " + err.Error()})
+		return
+	}
+	if err := a.svc.Cancel(id); err != nil {
+		writeError(w, err, http.StatusConflict)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"id": id, "cancelled": true})
+}

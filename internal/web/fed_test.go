@@ -1,0 +1,137 @@
+package web
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/federation"
+	"repro/internal/policy"
+	"repro/internal/service"
+	"repro/internal/sim"
+)
+
+func newFedFixture(t *testing.T, members int) (*service.FedService, *httptest.Server) {
+	t.Helper()
+	configs := make([]federation.MemberConfig, members)
+	for i := range configs {
+		configs[i] = federation.MemberConfig{
+			Name:      fmt.Sprintf("region%d", i),
+			Cluster:   experiments.SimCluster(),
+			Scheduler: policy.New(policy.SRTF, true),
+			Sim:       sim.ValidatedOptions(),
+		}
+	}
+	router, err := federation.NewRouter("least-queue")
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc, err := service.NewFed(configs, router, service.FedOptions{
+		Federation: federation.Options{Validate: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc.Start()
+	ts := httptest.NewServer(NewFedServer(svc).Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		svc.Stop()
+	})
+	return svc, ts
+}
+
+// TestFedSubmitQueryCancel walks a job through the federated control
+// API: submit through the front door, observe it land on a member,
+// query it with its owning member in the response, and cancel it.
+func TestFedSubmitQueryCancel(t *testing.T) {
+	svc, ts := newFedFixture(t, 2)
+
+	resp, out := postJSON(t, ts.URL+"/api/jobs", `{"model": "ResNet-50", "workers": 2, "gpu_hours": 50000}`)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit status = %d, body %v", resp.StatusCode, out)
+	}
+	id := int(out["id"].(float64))
+	member, ok := out["member"].(string)
+	if !ok || member == "" {
+		t.Errorf("submit response missing owning member: %v", out)
+	}
+
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if _, phase, _, _, ok := svc.Snapshot().FindJob(id); ok && phase == "active" {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %d never became active", id)
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	resp, out = do(t, http.MethodGet, ts.URL+"/api/jobs/"+itoa(id))
+	if resp.StatusCode != http.StatusOK || out["phase"] != "active" {
+		t.Fatalf("query status = %d, body %v", resp.StatusCode, out)
+	}
+	if out["member"] != member {
+		t.Errorf("query reports member %v, submit reported %v", out["member"], member)
+	}
+	if out["job"] == nil {
+		t.Error("active job query missing live detail")
+	}
+
+	resp, out = do(t, http.MethodDelete, ts.URL+"/api/jobs/"+itoa(id))
+	if resp.StatusCode != http.StatusOK || out["cancelled"] != true {
+		t.Fatalf("cancel status = %d, body %v", resp.StatusCode, out)
+	}
+	resp, _ = do(t, http.MethodDelete, ts.URL+"/api/jobs/"+itoa(id))
+	if resp.StatusCode != http.StatusConflict {
+		t.Errorf("double cancel status = %d, want 409", resp.StatusCode)
+	}
+}
+
+// TestFedSnapshotAndDashboard checks the merged snapshot endpoint and
+// the Provider-backed dashboard pages over a federation.
+func TestFedSnapshotAndDashboard(t *testing.T) {
+	_, ts := newFedFixture(t, 2)
+
+	resp, out := postJSON(t, ts.URL+"/api/jobs", `{"model": "ResNet-18", "workers": 1, "gpu_hours": 10}`)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit status = %d, body %v", resp.StatusCode, out)
+	}
+
+	resp, snap := do(t, http.MethodGet, ts.URL+"/api/snapshot")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("snapshot status = %d", resp.StatusCode)
+	}
+	members, ok := snap["members"].([]any)
+	if !ok || len(members) != 2 {
+		t.Fatalf("snapshot members = %v, want 2 entries", snap["members"])
+	}
+	if snap["router"] != "least-queue" {
+		t.Errorf("snapshot router = %v, want least-queue", snap["router"])
+	}
+	if _, ok := snap["stats"]; !ok {
+		t.Error("snapshot missing admission stats")
+	}
+	if got := int(snap["total_gpus"].(float64)); got != 2*experiments.SimCluster().TotalGPUs() {
+		t.Errorf("snapshot total_gpus = %d, want %d", got, 2*experiments.SimCluster().TotalGPUs())
+	}
+
+	// The dashboard renders one section per member.
+	page, err := http.Get(ts.URL + "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer page.Body.Close()
+	if page.StatusCode != http.StatusOK {
+		t.Errorf("dashboard status = %d", page.StatusCode)
+	}
+
+	resp, _ = do(t, http.MethodGet, ts.URL+"/api/jobs/999999999")
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown job query status = %d, want 404", resp.StatusCode)
+	}
+}
