@@ -10,7 +10,7 @@
 
 GO ?= go
 
-.PHONY: check build vet lint test race race-short stress bench-smoke bench profile service-smoke fed-smoke experiments chaos crash-smoke crash-chaos fuzz-smoke cover
+.PHONY: check build vet lint lint-fast lint-deep test race race-short stress bench-smoke bench profile service-smoke fed-smoke experiments chaos crash-smoke crash-chaos fuzz-smoke fuzz-sync cover
 
 check: build vet lint test cover
 
@@ -23,11 +23,21 @@ vet:
 # lint runs go vet plus repolint, the in-tree static-analysis suite
 # enforcing determinism (no wall clock, no global rand, no map-order
 # dependence in scheduler-path packages), numeric safety, concurrency
-# hygiene, and API discipline. `go run ./cmd/repolint -rules` lists the
-# rule catalogue; suppress site-by-site with
-# `//lint:ignore <rule> <reason>`.
-lint: vet
-	$(GO) run ./cmd/repolint .
+# hygiene, and API discipline — in two stages. lint-fast is the cheap
+# per-package syntactic rules; lint-deep is the interprocedural pass
+# (snapshot escape, goroutine ownership, digest taint, WAL ordering)
+# over the whole-module callgraph, run with per-analyzer timing and a
+# wall-time budget so it cannot silently blow up CI. `go run
+# ./cmd/repolint -rules` lists the rule catalogue; suppress
+# site-by-site with `//lint:ignore <rule> <reason>`.
+LINTBUDGET ?= 90s
+lint: lint-fast lint-deep
+
+lint-fast: vet
+	$(GO) run ./cmd/repolint -set fast .
+
+lint-deep:
+	$(GO) run ./cmd/repolint -set deep -verbose -budget $(LINTBUDGET) .
 
 test:
 	$(GO) test ./...
@@ -104,9 +114,27 @@ fed-smoke:
 
 # fuzz-smoke gives every fuzz target a short budget. Go fuzzes one
 # target per invocation, so each gets its own run; FUZZTIME=2m for a
-# deeper local session.
+# deeper local session. fuzz-sync guards the list: every Fuzz function
+# in the tree must either be wired in below or live under an excluded
+# path. The analyzer corpora (internal/lint/testdata) are excluded —
+# they are compile-only lint fixtures, and a corpus file is free to
+# define FuzzXxx shapes for the analyzers to chew on without becoming
+# a real fuzz target.
+FUZZ_EXCLUDES := internal/lint/testdata
+fuzz-sync:
+	@fail=0; \
+	for src in $$(grep -rl '^func Fuzz' --include='*.go' internal cmd 2>/dev/null); do \
+		skip=0; \
+		for ex in $(FUZZ_EXCLUDES); do case $$src in $$ex*) skip=1;; esac; done; \
+		[ $$skip -eq 1 ] && continue; \
+		for fn in $$(grep -ho '^func Fuzz[A-Za-z0-9_]*' $$src | sed 's/^func //'); do \
+			grep -q "$$fn" Makefile || { echo "fuzz-sync: $$fn ($$src) is not wired into fuzz-smoke; add it or extend FUZZ_EXCLUDES"; fail=1; }; \
+		done; \
+	done; \
+	exit $$fail
+
 FUZZTIME ?= 10s
-fuzz-smoke:
+fuzz-smoke: fuzz-sync
 	$(GO) test -run='^$$' -fuzz='^FuzzSolve$$' -fuzztime=$(FUZZTIME) ./internal/lp
 	$(GO) test -run='^$$' -fuzz='^FuzzReadPhillyCSV$$' -fuzztime=$(FUZZTIME) ./internal/trace
 	$(GO) test -run='^$$' -fuzz='^FuzzReadTraceJSON$$' -fuzztime=$(FUZZTIME) ./internal/trace

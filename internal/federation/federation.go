@@ -65,6 +65,11 @@ type member struct {
 // CancelJob / HasPendingEvents / PeekNextEventTime / ProcessNextEvent /
 // Finish) so everything that can drive an engine can drive a
 // federation.
+//
+// A Federation is not safe for concurrent use: like the engines it
+// owns, it is single-owner state, mutated only by the goroutine that
+// drives it (see internal/service.FedService) and read through
+// immutable FedSnapshots.
 type Federation struct {
 	members []*member
 	router  Router

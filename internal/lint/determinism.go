@@ -89,13 +89,20 @@ var analyzerGlobalRand = &Analyzer{
 
 // collectsKeyOnly reports whether a range body is exactly the
 // collect-then-sort idiom: a single append of the range variable into
-// a slice (`keys = append(keys, k)`), whose order the caller is
-// expected to fix by sorting before use.
+// a slice (`keys = append(keys, k)`), optionally under a single filter
+// guard, whose order the caller is expected to fix by sorting before
+// use.
 func collectsKeyOnly(body *ast.BlockStmt, key, value ast.Expr) bool {
 	if len(body.List) != 1 {
 		return false
 	}
-	as, ok := body.List[0].(*ast.AssignStmt)
+	stmt := body.List[0]
+	// A single guard (`if c > 0 { keys = append(keys, k) }`) filters
+	// the collection but does not order it: unwrap it.
+	if ifs, ok := stmt.(*ast.IfStmt); ok && ifs.Init == nil && ifs.Else == nil && len(ifs.Body.List) == 1 {
+		stmt = ifs.Body.List[0]
+	}
+	as, ok := stmt.(*ast.AssignStmt)
 	if !ok || len(as.Lhs) != 1 || len(as.Rhs) != 1 || as.Tok != token.ASSIGN {
 		return false
 	}

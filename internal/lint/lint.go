@@ -37,6 +37,7 @@ import (
 	"go/token"
 	"sort"
 	"strings"
+	"time"
 )
 
 // Diagnostic is one finding, resolved to a file position.
@@ -67,7 +68,32 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	})
 }
 
-// Analyzer is one named rule.
+// ModulePass is the whole-module context handed to
+// Analyzer.RunModule: the callgraph plus the active config, so
+// interprocedural analyzers can both scope their findings and avoid
+// double-reporting sites the syntactic rules already cover.
+type ModulePass struct {
+	Mod  *Module
+	Cfg  *Config
+	diag *[]Diagnostic
+	rule string
+}
+
+// Reportf records a diagnostic at pos, attributed to pkg; findings in
+// packages outside the rule's configured scope are dropped.
+func (p *ModulePass) Reportf(pkg *Package, pos token.Pos, format string, args ...any) {
+	if !p.Cfg.inScope(p.rule, pkg.Path) {
+		return
+	}
+	*p.diag = append(*p.diag, Diagnostic{
+		Pos:     pkg.Fset.Position(pos),
+		Rule:    p.rule,
+		Message: fmt.Sprintf(format, args...),
+	})
+}
+
+// Analyzer is one named rule: either a per-package syntactic rule
+// (Run) or a whole-module interprocedural rule (RunModule).
 type Analyzer struct {
 	// Name is the rule name used in diagnostics and suppression
 	// directives (short, lower-case, no spaces).
@@ -77,6 +103,10 @@ type Analyzer struct {
 	Doc string
 	// Run inspects one type-checked package and reports findings.
 	Run func(p *Pass)
+	// RunModule inspects the whole loaded module at once, with the
+	// callgraph and dataflow summaries available. Exactly one of Run
+	// and RunModule is set.
+	RunModule func(p *ModulePass)
 }
 
 // Config scopes rules to package paths. Paths are import paths; a
@@ -173,14 +203,22 @@ func DefaultConfig() *Config {
 			// genuinely wall-clock driven.
 			"wallclock": append(append([]string(nil), schedulerPath...),
 				"repro/internal/metrics", "repro/internal/export"),
-			"globalrand": detScope,
-			"maprange":   detScope,
+			// The linter lints itself: analyzer output ordering must be
+			// deterministic (findings are diffed in CI), so map ranges
+			// and global rand are policed here too. wallclock stays out:
+			// RunTimed legitimately measures real analyzer latency.
+			"globalrand": append(append([]string(nil), detScope...), "repro/internal/lint"),
+			"maprange":   append(append([]string(nil), detScope...), "repro/internal/lint"),
 			// Cross-round accumulation matters where exact conservation
 			// and dual-price arithmetic live.
 			"floataccum": {"repro/internal/core", "repro/internal/invariant", "repro/internal/sim"},
 			"floateq":    {"repro/internal/..."},
 			"gostop":     {"repro/internal/rpccluster"},
 			"panicrule":  {"repro/internal/..."},
+			// The WAL apply->append->reply contract lives in the
+			// service's journaling sites; elsewhere the rule has
+			// nothing to say.
+			"walorder": {"repro/internal/service", "repro/internal/wal"},
 		},
 		Skip: map[string][]string{
 			// internal/bug is the designated invariant-violation hook.
@@ -191,8 +229,9 @@ func DefaultConfig() *Config {
 	}
 }
 
-// Analyzers returns the full rule suite in a stable order.
-func Analyzers() []*Analyzer {
+// AnalyzersFast returns the per-package syntactic rules: cheap AST
+// walks with no interprocedural state, suitable for a fast CI stage.
+func AnalyzersFast() []*Analyzer {
 	return []*Analyzer{
 		analyzerWallClock,
 		analyzerGlobalRand,
@@ -205,6 +244,22 @@ func Analyzers() []*Analyzer {
 		analyzerPanic,
 		analyzerPrint,
 	}
+}
+
+// AnalyzersDeep returns the whole-module interprocedural rules built
+// on the callgraph and mod-ref summaries.
+func AnalyzersDeep() []*Analyzer {
+	return []*Analyzer{
+		analyzerSnapEscape,
+		analyzerOwnership,
+		analyzerDigestTaint,
+		analyzerWALOrder,
+	}
+}
+
+// Analyzers returns the full rule suite in a stable order.
+func Analyzers() []*Analyzer {
+	return append(AnalyzersFast(), AnalyzersDeep()...)
 }
 
 // AnalyzerNames returns the rule names, for directive validation.
@@ -263,23 +318,53 @@ func parseDirectives(fset *token.FileSet, f *ast.File, known map[string]bool) []
 	return out
 }
 
+// Timing is one analyzer's wall-clock cost for a run, reported by
+// `repolint -verbose` and checked against the CI timing budget.
+type Timing struct {
+	Name    string
+	Elapsed time.Duration
+}
+
 // Run executes the analyzers over the packages under the config and
 // returns the surviving diagnostics sorted by position: findings not
 // covered by a directive, malformed directives, and unused directives.
 func Run(pkgs []*Package, analyzers []*Analyzer, cfg *Config) []Diagnostic {
-	known := map[string]bool{}
+	diags, _ := RunTimed(pkgs, analyzers, cfg)
+	return diags
+}
+
+// RunTimed is Run plus per-analyzer wall-clock timings in suite order.
+func RunTimed(pkgs []*Package, analyzers []*Analyzer, cfg *Config) ([]Diagnostic, []Timing) {
+	// Directive rule names validate against the full suite, not just
+	// the analyzers running now, so a fast-only pass does not report
+	// suppressions of deep rules as unknown (and vice versa).
+	known := AnalyzerNames()
+	running := map[string]bool{}
 	for _, a := range analyzers {
 		known[a.Name] = true
+		running[a.Name] = true
 	}
 
 	var raw []Diagnostic
-	for _, pkg := range pkgs {
-		for _, a := range analyzers {
-			if !cfg.inScope(a.Name, pkg.Path) {
-				continue
+	var timings []Timing
+	var mod *Module
+	for _, a := range analyzers {
+		start := time.Now()
+		if a.Run != nil {
+			for _, pkg := range pkgs {
+				if !cfg.inScope(a.Name, pkg.Path) {
+					continue
+				}
+				a.Run(&Pass{Pkg: pkg, diag: &raw, rule: a.Name})
 			}
-			a.Run(&Pass{Pkg: pkg, diag: &raw, rule: a.Name})
 		}
+		if a.RunModule != nil {
+			if mod == nil {
+				mod = BuildModule(pkgs)
+			}
+			a.RunModule(&ModulePass{Mod: mod, Cfg: cfg, diag: &raw, rule: a.Name})
+		}
+		timings = append(timings, Timing{Name: a.Name, Elapsed: time.Since(start)})
 	}
 
 	// Index directives by (file, line): a directive covers its own line
@@ -317,22 +402,39 @@ func Run(pkgs []*Package, analyzers []*Analyzer, cfg *Config) []Diagnostic {
 		}
 	}
 	for _, d := range dirs {
+		// A directive for rules that are not all running now cannot be
+		// judged stale: the deep pass owns deep-rule directives.
+		allRunning := true
+		for _, r := range sortedRules(d.rules) {
+			if !running[r] {
+				allRunning = false
+			}
+		}
 		switch {
 		case d.broken != "":
 			out = append(out, Diagnostic{Pos: d.pos, Rule: "lintdirective",
 				Message: "malformed //lint:ignore: " + d.broken})
-		case !d.used:
-			rules := make([]string, 0, len(d.rules))
-			for r := range d.rules {
-				rules = append(rules, r)
-			}
-			sort.Strings(rules)
+		case !d.used && allRunning:
 			out = append(out, Diagnostic{Pos: d.pos, Rule: "lintdirective",
 				Message: fmt.Sprintf("unused suppression for %s (no matching diagnostic on this or the next line)",
-					strings.Join(rules, ","))})
+					strings.Join(sortedRules(d.rules), ","))})
 		}
 	}
 
+	return sortDiagnostics(out), timings
+}
+
+// sortedRules returns a directive's rule names in sorted order.
+func sortedRules(rules map[string]bool) []string {
+	out := make([]string, 0, len(rules))
+	for r := range rules {
+		out = append(out, r)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func sortDiagnostics(out []Diagnostic) []Diagnostic {
 	sort.Slice(out, func(i, j int) bool {
 		a, b := out[i], out[j]
 		if a.Pos.Filename != b.Pos.Filename {

@@ -223,3 +223,39 @@ func TestAnalyzerMetadata(t *testing.T) {
 		}
 	}
 }
+
+// TestAnalyzerSetsAndTimings pins the fast/deep partition behind
+// `repolint -set` and the RunTimed plumbing behind -verbose/-budget:
+// the sets are disjoint, together they are the whole suite, fast rules
+// are purely syntactic (no module pass), deep rules are purely
+// interprocedural, and RunTimed reports one timing per analyzer in
+// suite order.
+func TestAnalyzerSetsAndTimings(t *testing.T) {
+	fast, deep := AnalyzersFast(), AnalyzersDeep()
+	if len(fast)+len(deep) != len(Analyzers()) {
+		t.Fatalf("fast (%d) + deep (%d) analyzers != whole suite (%d)", len(fast), len(deep), len(Analyzers()))
+	}
+	for _, a := range fast {
+		if a.RunModule != nil || a.Run == nil {
+			t.Errorf("fast analyzer %s must be per-package syntactic", a.Name)
+		}
+	}
+	for _, a := range deep {
+		if a.RunModule == nil {
+			t.Errorf("deep analyzer %s must have a module pass", a.Name)
+		}
+	}
+	pkg := loadCorpus(t, "walorder", "example.com/corpus/walorder")
+	_, timings := RunTimed([]*Package{pkg}, deep, nil)
+	if len(timings) != len(deep) {
+		t.Fatalf("RunTimed returned %d timings for %d analyzers", len(timings), len(deep))
+	}
+	for i, tm := range timings {
+		if tm.Name != deep[i].Name {
+			t.Errorf("timing %d is %q, want suite order %q", i, tm.Name, deep[i].Name)
+		}
+		if tm.Elapsed < 0 {
+			t.Errorf("timing %s is negative: %v", tm.Name, tm.Elapsed)
+		}
+	}
+}

@@ -1,0 +1,131 @@
+// Package digesttaint exercises the digest taint analysis: the
+// dataflow feeding a golden digest fold must be free of unsorted map
+// ranges, wall-clock reads, and global rand draws — even when the
+// producing code sits outside the syntactic rules' path allowlists.
+package digesttaint
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// Engine folds schedule decisions into a golden digest.
+type Engine struct {
+	digest uint64
+	sched  Scheduler
+}
+
+// Scheduler produces the decisions for one round.
+type Scheduler interface {
+	Schedule(jobs map[int]int) []int
+}
+
+// Greedy schedules deterministically.
+type Greedy struct{}
+
+// Schedule sorts the keys before iterating: replay-identical.
+func (Greedy) Schedule(jobs map[int]int) []int {
+	var keys []int
+	for k := range jobs {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	out := make([]int, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, jobs[k])
+	}
+	return out
+}
+
+// Sloppy schedules in map order with tie-breaks from the global RNG
+// and the wall clock: every source the digest must never see. The
+// taint tracker reaches it through the Scheduler interface even
+// though no allowlist names this package.
+type Sloppy struct{}
+
+// Schedule is nondeterministic three ways over.
+func (Sloppy) Schedule(jobs map[int]int) []int {
+	var out []int
+	for k, v := range jobs { // want "digesttaint: unsorted range over map"
+		out = append(out, k+v)
+	}
+	if time.Now().Unix()%2 == 0 { // want "digesttaint: wall-clock read time.Now"
+		out = append(out, rand.Int()) // want "digesttaint: global math/rand draw rand.Int"
+	}
+	return out
+}
+
+// Tally schedules by commutative accumulation: integer sums, stores
+// keyed by the range key, constant flag sets, guarded continues, and
+// guarded error returns cannot observe iteration order, so none of
+// these ranges is flagged even though Tally sits on the digest path.
+type Tally struct{}
+
+// Schedule accumulates order-insensitively.
+func (Tally) Schedule(jobs map[int]int) []int {
+	total := 0
+	seen := make(map[int]bool, len(jobs))
+	any := false
+	for k, v := range jobs {
+		if v < 0 {
+			continue
+		}
+		total += v
+		seen[k] = true
+		any = true
+	}
+	if !any {
+		return nil
+	}
+	return []int{total, len(seen)}
+}
+
+// check aborts on the first bad entry: which one aborts first varies
+// with map order, but an aborted fold never reaches the digest.
+func check(jobs map[int]int) error {
+	for k, v := range jobs {
+		if v < 0 {
+			return errBad(k)
+		}
+	}
+	return nil
+}
+
+type errBad int
+
+func (e errBad) Error() string { return "bad job" }
+
+// Filtered collects keys under a guard and sorts: the guarded
+// collect-then-sort idiom stays exempt.
+func Filtered(jobs map[int]int) []int {
+	var keys []int
+	for k, v := range jobs {
+		if v > 0 {
+			keys = append(keys, k)
+		}
+	}
+	sort.Ints(keys)
+	if err := check(jobs); err != nil {
+		return nil
+	}
+	return keys
+}
+
+// Round runs one round and folds the decisions into the digest: the
+// producer flows into the fold through the decisions argument.
+func (e *Engine) Round(jobs map[int]int) {
+	decisions := e.sched.Schedule(jobs)
+	e.fold(decisions)
+	e.fold(Filtered(jobs))
+}
+
+// fold chains the decisions into the digest (FNV-style).
+func (e *Engine) fold(decisions []int) {
+	for _, d := range decisions {
+		e.digest = e.digest*1099511628211 + uint64(d)
+	}
+}
+
+// Digest publishes the fold.
+func (e *Engine) Digest() uint64 { return e.digest }

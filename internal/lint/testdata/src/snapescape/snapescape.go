@@ -1,0 +1,102 @@
+// Package snapescape exercises the copy-on-publish escape analysis:
+// reference-bearing values stored into a published snapshot must not
+// alias live engine state.
+package snapescape
+
+// Engine is a toy stateful core with reference-bearing fields.
+type Engine struct {
+	name   string
+	phases map[int]string
+	jobs   []*Job
+	report *Report
+}
+
+// Job is live mutable state.
+type Job struct{ ID int }
+
+// Report is live mutable state with a deep-copy helper.
+type Report struct{ Rows []int }
+
+// Clone returns a deep copy in the canonical copy-and-reallocate
+// shape. The alias analysis cannot see the per-field kill through the
+// struct copy, so clone-named module methods are trusted to return
+// fresh storage (see freshReturn); this pins that trust.
+func (r *Report) Clone() *Report {
+	c := *r
+	c.Rows = append([]int(nil), r.Rows...)
+	return &c
+}
+
+// Snapshot is the published immutable view.
+type Snapshot struct {
+	Name   string
+	Phases map[int]string
+	Jobs   []*Job
+	Report *Report
+}
+
+// BadDirect shares the live map and slice with every reader.
+func (e *Engine) BadDirect() *Snapshot {
+	return &Snapshot{
+		Phases: e.phases, // want "snapescape: snapshot field Phases aliases live state"
+		Jobs:   e.jobs,   // want "snapescape: snapshot field Jobs aliases live state"
+	}
+}
+
+// BadFieldStore shares the report through a later field store.
+func (e *Engine) BadFieldStore() *Snapshot {
+	snap := &Snapshot{Name: e.name}
+	snap.Report = e.report // want "snapescape: store into published snapshot aliases live state"
+	return snap
+}
+
+// BadAliasChain escapes through a local alias of the live report.
+func (e *Engine) BadAliasChain() *Snapshot {
+	rows := e.report
+	snap := &Snapshot{}
+	snap.Report = rows // want "snapescape: store into published snapshot aliases live state"
+	return snap
+}
+
+// BadSharedElement republishes live job pointers element by element.
+func (e *Engine) BadSharedElement() *Snapshot {
+	jobs := make([]*Job, 0, len(e.jobs))
+	for _, j := range e.jobs {
+		jobs = append(jobs, j)
+	}
+	return &Snapshot{Jobs: jobs} // want "snapescape: snapshot field Jobs aliases live state"
+}
+
+// BadFromParam aliases a parameter instead of a receiver.
+func BadFromParam(r *Report) *Snapshot {
+	return &Snapshot{Report: r} // want "snapescape: snapshot field Report aliases live state"
+}
+
+// GoodCopy deep-copies every reference-bearing field before
+// publishing: fresh map, fresh slice of fresh values, cloned report,
+// and a scalar copied by value.
+func (e *Engine) GoodCopy() *Snapshot {
+	phases := make(map[int]string, len(e.phases))
+	for id, ph := range e.phases {
+		phases[id] = ph
+	}
+	jobs := make([]*Job, 0, len(e.jobs))
+	for _, j := range e.jobs {
+		jobs = append(jobs, &Job{ID: j.ID})
+	}
+	return &Snapshot{
+		Name:   e.name,
+		Phases: phases,
+		Jobs:   jobs,
+		Report: e.report.Clone(),
+	}
+}
+
+// Member is a reader method ON the snapshot: aliases into frozen data
+// are the point, not a leak.
+func (s *Snapshot) Member(i int) *Job {
+	if i < 0 || i >= len(s.Jobs) {
+		return nil
+	}
+	return s.Jobs[i]
+}

@@ -92,7 +92,11 @@ func (e *Estimator) beliefs(j *job.Job) map[gpu.Type]*estimate {
 	}
 	m := make(map[gpu.Type]*estimate)
 	_, best, _ := j.BestType()
-	for t, x := range j.Throughput {
+	// Iterate the type enum, not the throughput map: the belief map's
+	// pointer identities seed estimator state, so its construction
+	// order must be replay-identical.
+	for t := gpu.Type(0); t < gpu.NumTypes; t++ {
+		x := j.Speed(t)
 		if x <= 0 {
 			continue
 		}
@@ -200,8 +204,10 @@ func (e *Estimator) Schedule(ctx *sched.Context) map[int]cluster.Alloc {
 		realByID[st.Job.ID] = st
 		beliefs := e.beliefs(st.Job)
 		tp := make(map[gpu.Type]float64, len(beliefs))
-		for t, b := range beliefs {
-			tp[t] = b.rate
+		for t := gpu.Type(0); t < gpu.NumTypes; t++ {
+			if b, ok := beliefs[t]; ok {
+				tp[t] = b.rate
+			}
 		}
 		shadowJob := *st.Job
 		shadowJob.Throughput = tp
@@ -217,14 +223,19 @@ func (e *Estimator) Schedule(ctx *sched.Context) map[int]cluster.Alloc {
 	// one of them when the devices are free under the chosen decision.
 	free := cluster.NewState(ctx.Cluster)
 	consistent := true
-	for _, a := range decisions {
-		if a.Workers() > 0 {
-			if err := free.Allocate(a); err != nil {
-				// Inner scheduler over-allocated; pass the decision
-				// through unmodified and let the simulator reject it.
-				consistent = false
-				break
-			}
+	// Replay the decisions in submission order, not map order: the
+	// allocator mutates shared free-node state, and the exploration
+	// pass below reads it.
+	for _, st := range ctx.Jobs {
+		a, ok := decisions[st.Job.ID]
+		if !ok || a.Workers() == 0 {
+			continue
+		}
+		if err := free.Allocate(a); err != nil {
+			// Inner scheduler over-allocated; pass the decision
+			// through unmodified and let the simulator reject it.
+			consistent = false
+			break
 		}
 	}
 	if !consistent {
